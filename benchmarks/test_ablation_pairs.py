@@ -1,0 +1,69 @@
+"""Ablation A2 — simultaneous control-signal assignment budget.
+
+The paper assigns "values to up to two of them simultaneously" and names
+larger budgets as future work ("there were cases of potential words which
+may have been improved if more than two control signals were
+simultaneously assigned").  This bench runs budgets 1, 2 and 3:
+
+* budget 1 must lose the b08 crossed word (it needs the pair),
+* budget 2 reproduces the paper's configuration,
+* budget 3 (the paper's future work, implemented here) may only help,
+  and its cost grows combinatorially.
+
+Run: ``pytest benchmarks/test_ablation_pairs.py --benchmark-only``
+"""
+
+import pytest
+
+from conftest import get_netlist
+from repro.core import PipelineConfig, identify_words
+from repro.eval import evaluate, extract_reference_words
+
+BUDGETS = [1, 2, 3]
+
+
+@pytest.mark.parametrize("budget", BUDGETS)
+def test_budget_sweep(budget, benchmark):
+    netlist = get_netlist("b08")
+    reference = extract_reference_words(netlist)
+    config = PipelineConfig(max_simultaneous=budget)
+
+    result = benchmark.pedantic(
+        lambda: identify_words(netlist, config), rounds=1, iterations=1
+    )
+    metrics = evaluate(reference, result)
+    print(
+        f"\nb08 max_simultaneous={budget}: full {metrics.pct_full:.1f}%  "
+        f"ctrl {len(result.control_signals)}"
+    )
+
+
+def test_pair_word_needs_budget_two():
+    """The crossed word is healed at budget 2 but not at budget 1."""
+    netlist = get_netlist("b08")
+    reference = extract_reference_words(netlist)
+    target = next(w for w in reference if w.register == "incl_mask")
+
+    def outcome(budget):
+        result = identify_words(
+            netlist, PipelineConfig(max_simultaneous=budget)
+        )
+        metrics = evaluate(reference, result)
+        return next(
+            o for o in metrics.outcomes if o.reference == target
+        ).status
+
+    assert outcome(1) != "full"
+    assert outcome(2) == "full"
+
+
+def test_budget_three_never_worse():
+    netlist = get_netlist("b12")
+    reference = extract_reference_words(netlist)
+    full_at = {}
+    for budget in (2, 3):
+        result = identify_words(
+            netlist, PipelineConfig(max_simultaneous=budget)
+        )
+        full_at[budget] = evaluate(reference, result).num_full
+    assert full_at[3] >= full_at[2]

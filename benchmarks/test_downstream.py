@@ -1,0 +1,57 @@
+"""Extension bench — the downstream value of better word identification.
+
+The paper justifies its accuracy gains by the stages that consume them:
+"having a larger set of full words will allow these functions [word
+propagation in [6]] to achieve better results."  This bench quantifies
+that claim on our substrate: seed word propagation once with Base's words
+and once with Ours', and count what each harvest grows into; then run
+operator recognition on both and count functionally verified operators.
+
+Run: ``pytest benchmarks/test_downstream.py --benchmark-only``
+"""
+
+import pytest
+
+from conftest import get_netlist
+from repro.core import (
+    identify_operators,
+    identify_words,
+    propagate_words,
+    shape_hashing,
+)
+
+BENCHES = ["b03", "b12", "b15"]
+
+
+@pytest.mark.parametrize("name", BENCHES)
+def test_propagation_harvest(name, benchmark):
+    netlist = get_netlist(name)
+    base_words = shape_hashing(netlist).words
+    ours_words = identify_words(netlist).words
+
+    ours_grown = benchmark.pedantic(
+        lambda: propagate_words(netlist, ours_words), rounds=1, iterations=1
+    )
+    base_grown = propagate_words(netlist, base_words)
+    print(
+        f"\n{name}: Base {len(base_words)} seeds -> {len(base_grown.words)} "
+        f"| Ours {len(ours_words)} seeds -> {len(ours_grown.words)}"
+    )
+    # The paper's downstream claim: more/better seeds, bigger harvest.
+    assert len(ours_grown.words) >= len(base_grown.words)
+
+
+@pytest.mark.parametrize("name", BENCHES)
+def test_operator_recognition(name, benchmark):
+    netlist = get_netlist(name)
+    grown = propagate_words(netlist, identify_words(netlist).words)
+
+    operators = benchmark.pedantic(
+        lambda: identify_operators(netlist, grown.words),
+        rounds=1,
+        iterations=1,
+    )
+    verified = [m for m in operators if m.verified and m.kind != "buf"]
+    kinds = sorted({m.kind for m in verified})
+    print(f"\n{name}: {len(verified)} verified operators, kinds {kinds}")
+    assert verified, "no operators recognized at all"

@@ -1,0 +1,66 @@
+"""Scaling bench — the runtime-complexity claims of Section 2.6.
+
+The paper argues the pipeline stays near-linear: stage 1 is O(N) in the
+number of nets, hash-key generation is linear in cone size, the sorted
+merge is O(k_i + k_j), and "in our experiments including a circuit with
+more than 100K gates, we report runtime of at most a few minutes."
+
+This bench measures the two dominant kernels and the full pipeline across
+the benchmark size ladder (b03 -> b18 spans ~500x in gate count) so the
+growth curve is visible in the saved benchmark stats, and asserts the
+end-to-end runtime stays within the paper's "few minutes" envelope even
+in pure Python.
+
+Run: ``pytest benchmarks/test_scaling.py --benchmark-only``
+"""
+
+import pytest
+
+from conftest import get_netlist
+from repro.core import SignatureIndex, group_by_adjacency, identify_words
+
+LADDER = ["b03", "b12", "b15", "b17", "b18"]
+
+
+@pytest.mark.parametrize("name", LADDER)
+def test_stage1_grouping_scaling(name, benchmark):
+    """Section 2.2: one pass over the netlist file."""
+    netlist = get_netlist(name)
+    groups = benchmark.pedantic(
+        lambda: group_by_adjacency(netlist), rounds=3, iterations=1
+    )
+    print(f"\n{name}: {netlist.num_gates} gates -> {len(groups)} groups")
+
+
+@pytest.mark.parametrize("name", LADDER)
+def test_signature_scan_scaling(name, benchmark):
+    """Hash-key generation over every candidate net (the hot kernel)."""
+    netlist = get_netlist(name)
+    groups = group_by_adjacency(netlist)
+
+    def scan():
+        index = SignatureIndex(netlist, 4)
+        count = 0
+        for group in groups:
+            for net in group:
+                index.signature(net)
+                count += 1
+        return count
+
+    count = benchmark.pedantic(scan, rounds=1, iterations=1)
+    print(f"\n{name}: {count} signatures over {netlist.num_gates} gates")
+
+
+@pytest.mark.parametrize("name", LADDER)
+def test_full_pipeline_scaling(name, benchmark):
+    netlist = get_netlist(name)
+    result = benchmark.pedantic(
+        lambda: identify_words(netlist), rounds=1, iterations=1
+    )
+    print(
+        f"\n{name}: {netlist.num_gates} gates in "
+        f"{result.runtime_seconds:.2f}s"
+    )
+    # The paper's envelope: minutes on the largest benchmark.  Generous
+    # bound so slow CI machines do not flake.
+    assert result.runtime_seconds < 300.0

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Side-by-side comparison on any Table 1 benchmark.
+
+Reproduces one row of the paper's Table 1 and then drills into the
+per-word outcomes: which reference words each technique found fully,
+which fragmented (and into how many pieces), which were missed — plus the
+control signals that bought each recovered word.
+
+Run::
+
+    python examples/compare_baseline.py            # default: b08
+    python examples/compare_baseline.py b12 b15    # any benchmarks
+    python examples/compare_baseline.py --list
+"""
+
+import argparse
+
+from repro.eval import render_table
+from repro.eval.runner import run_benchmark
+from repro.synth.designs import BENCHMARKS
+
+_STATUS_GLYPH = {"full": "FULL   ", "partial": "PARTIAL", "not_found": "missed "}
+
+
+def describe(run):
+    print(render_table([run.row()], include_average=False))
+    print()
+    by_register = {
+        outcome.reference.register: outcome
+        for outcome in run.base_metrics.outcomes
+    }
+    print(f"{'word':<14} {'width':>5}   {'Base':<16} {'Ours':<16}")
+    for ours_outcome in run.ours_metrics.outcomes:
+        register = ours_outcome.reference.register
+        base_outcome = by_register[register]
+
+        def cell(outcome):
+            text = _STATUS_GLYPH[outcome.status]
+            if outcome.status == "partial":
+                text += f" x{outcome.fragments}"
+            return text
+
+        print(
+            f"{register:<14} {ours_outcome.reference.width:>5}   "
+            f"{cell(base_outcome):<16} {cell(ours_outcome):<16}"
+        )
+    if run.ours_result.control_assignments:
+        print("\ncontrol-signal assignments that unlocked words:")
+        for word, assignment in run.ours_result.control_assignments.items():
+            print(f"  {assignment}  ->  {word}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmarks", nargs="*", default=["b08"])
+    parser.add_argument("--list", action="store_true", help="list benchmarks")
+    args = parser.parse_args()
+    if args.list:
+        print(" ".join(BENCHMARKS))
+        return
+    for name in args.benchmarks or ["b08"]:
+        print(f"\n=== {name} ===")
+        netlist = BENCHMARKS[name]()
+        describe(run_benchmark(netlist))
+
+
+if __name__ == "__main__":
+    main()

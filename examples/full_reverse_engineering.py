@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The full reverse-engineering loop the paper positions itself in.
+
+The paper's technique is "the first and major step" of a longer pipeline:
+identify words, then propagate them, then recognize the high-level
+components they connect ("the computational unit responsible for the
+addition can be more easily identified, if first, the ... words are
+identified").  This example runs the whole loop on a small ALU-like
+design, from flat mapped netlist to named operators:
+
+1. word identification (control-signal technique),
+2. WordRev-style word propagation to a fixpoint,
+3. datapath-operator recognition with functional verification.
+
+Run: ``python examples/full_reverse_engineering.py``
+"""
+
+from repro.core import identify_operators, identify_words, propagate_words
+from repro.eval import extract_reference_words
+from repro.synth import Concat, Const, Module, Mux, synthesize
+
+
+def build_alu_design():
+    """A small write-back datapath: ALU + operand/result registers."""
+    m = Module("mini_alu", reset_input="rst")
+    bus = m.input("bus", 8)
+    opsel = m.input("opsel", 2)
+    wr_a = m.input("wr_a")
+    wr_b = m.input("wr_b")
+
+    op_a = m.register("op_a", 8)
+    op_a.next = Mux(wr_a & ~wr_b, bus, op_a.ref())
+    op_b = m.register("op_b", 8)
+    op_b.next = Mux(wr_b & ~wr_a, bus, op_b.ref())
+
+    a, b = op_a.ref(), op_b.ref()
+    alu = Mux(
+        opsel.bit(0),
+        Mux(opsel.bit(1), a + b, a & b),
+        Mux(opsel.bit(1), a ^ b, a | b),
+    )
+    res = m.register("res", 8)
+    res.next = alu
+    m.output("result", res.ref())
+    return m
+
+
+def main():
+    netlist = synthesize(build_alu_design())
+    print(f"flat mapped netlist: {netlist}")
+    print("(no hierarchy, no names except the register-output convention)\n")
+
+    print("step 1 — word identification:")
+    identified = identify_words(netlist)
+    for word in identified.words:
+        print(f"  [{word.width:>2}] {word}")
+
+    print("\nstep 2 — word propagation (WordRev [6] downstream stage):")
+    grown = propagate_words(netlist, identified.words)
+    print(f"  {len(identified.words)} seed words -> "
+          f"{len(grown.words)} after {grown.rounds} rounds "
+          f"({len(grown.derived)} derived)")
+    for word in grown.derived:
+        print(f"  [{word.width:>2}] {word}")
+
+    print("\nstep 3 — operator recognition (functionally verified):")
+    operators = identify_operators(netlist, grown.words)
+    for match in operators:
+        if match.kind == "buf":
+            continue
+        print(f"  {match.describe()}")
+
+    kinds = {m.kind for m in operators if m.verified}
+    print(
+        f"\nrecovered operator kinds: {sorted(kinds)} — the ALU's word-level"
+        f"\nstructure, reconstructed from a sea of "
+        f"{netlist.num_gates} anonymous gates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim so `pip install -e .` works on environments without the `wheel`
+package (offline boxes): setuptools' legacy develop path needs setup.py."""
+from setuptools import setup
+
+setup()

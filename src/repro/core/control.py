@@ -1,0 +1,135 @@
+"""Relevant control-signal identification (Section 2.4).
+
+Given a partially-matched subgroup, the paper defines *relevant control
+signals* in two steps over the dissimilar subtrees remembered by the
+matching stage:
+
+1. list the nets common to **all** dissimilar subtrees;
+2. drop every net that lies in the fanin cone of another net in that list
+   (its reduction effect is subsumed — in Figure 1, U223 feeds U201 and is
+   dropped, leaving exactly {U201, U221}).
+
+Control signals that appear only in *matching* subtrees are never
+considered: "they cannot help create additional structural similarity and
+would only increase complexity."
+
+For each surviving signal we also gather its *feasible values*: the
+controlling values of the gates it feeds inside the dissimilar subtrees
+(Section 2.5 assigns "the controlling value to one of the logic gates that
+the control signal is feeding into").  A signal feeding only XOR-family
+gates has no controlling value and is dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..netlist.cone import ConeNode
+from .matching import Subgroup
+
+__all__ = ["ControlSignalCandidate", "find_control_signals"]
+
+
+@dataclass(frozen=True)
+class ControlSignalCandidate:
+    """A relevant control signal and the constant values worth trying."""
+
+    net: str
+    values: Tuple[int, ...]
+
+
+def _cone_net_sets(cone: ConeNode) -> Tuple[Set[str], Dict[str, Set[str]]]:
+    """Nets in a subtree plus, per net, the nets strictly below it.
+
+    The per-net descendant sets implement the "in the fanin cone of" test of
+    step 2 without re-traversing the netlist: the subtree already contains
+    the only structure the stage is allowed to look at.
+    """
+    all_nets: Set[str] = set()
+    descendants: Dict[str, Set[str]] = {}
+
+    def visit(node: ConeNode) -> Set[str]:
+        all_nets.add(node.net)
+        below: Set[str] = set()
+        for child in node.children:
+            below.add(child.net)
+            below |= visit(child)
+        descendants.setdefault(node.net, set()).update(below)
+        return below
+
+    visit(cone)
+    return all_nets, descendants
+
+
+def _controlling_values(cone: ConeNode, signal: str) -> Set[int]:
+    """Controlling values of gates that ``signal`` feeds inside ``cone``."""
+    values: Set[int] = set()
+    for node in cone.walk():
+        if node.is_leaf:
+            continue
+        if any(child.net == signal for child in node.children):
+            cv = node.gate.cell.controlling_value
+            if cv is not None:
+                values.add(cv)
+    return values
+
+
+def find_control_signals(subgroup: Subgroup) -> List[ControlSignalCandidate]:
+    """Identify the relevant control signals of a partially-matched subgroup.
+
+    Returns candidates in deterministic discovery order (bit order, then
+    pre-order position within each dissimilar subtree).
+    """
+    cones: List[ConeNode] = []
+    for sig in subgroup.signatures:
+        for root in subgroup.dissimilar.get(sig.net, ()):
+            for subtree in sig.subtrees:
+                if subtree.root_net == root:
+                    cones.append(subtree.cone)
+                    break
+    if not cones:
+        return []
+
+    net_sets: List[Set[str]] = []
+    descendant_maps: List[Dict[str, Set[str]]] = []
+    for cone in cones:
+        nets, descendants = _cone_net_sets(cone)
+        net_sets.append(nets)
+        descendant_maps.append(descendants)
+
+    common: Set[str] = set.intersection(*net_sets)
+    # The subtree roots themselves are bit-specific wires, not controls; a
+    # net can only be common to all subtrees if it is not any cone's root,
+    # but guard anyway.
+    common -= {cone.net for cone in cones}
+    if not common:
+        return []
+
+    # Step 2: drop nets dominated by another common net's fanin cone.
+    dominated: Set[str] = set()
+    for net in common:
+        for other in common:
+            if other == net:
+                continue
+            if any(net in dmap.get(other, ()) for dmap in descendant_maps):
+                dominated.add(net)
+                break
+    survivors = common - dominated
+
+    ordered: List[str] = []
+    for cone in cones:
+        for node in cone.walk():
+            if node.net in survivors and node.net not in ordered:
+                ordered.append(node.net)
+
+    candidates: List[ControlSignalCandidate] = []
+    for net in ordered:
+        values: Set[int] = set()
+        for cone in cones:
+            values |= _controlling_values(cone, net)
+        if values:
+            candidates.append(
+                ControlSignalCandidate(net, tuple(sorted(values)))
+            )
+    return candidates

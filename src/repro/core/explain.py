@@ -1,0 +1,152 @@
+"""Control-signal provenance: explain what the discovered controls compute.
+
+The paper finds relevant control signals and uses them; a human analyst's
+next question is *what are they*?  Most datapath selects are comparisons
+over the very words the pipeline recovers (``sel = (addr == base)``,
+``lt``-driven min/max updates...).  This module recognizes those:
+
+* **equality / inequality** — an AND/NOR tree over per-bit XNOR/XOR of two
+  identified words (the structure :mod:`repro.synth.lower` and every
+  synthesis tool emit for ``==``),
+* **reductions** — an AND/OR tree over one word's bits (``word.any()`` /
+  ``word.all()`` flags),
+
+each confirmed functionally by simulating the signal's cone against the
+candidate semantics on test vectors — the same trust-but-verify discipline
+as :mod:`repro.core.modules`.
+
+Together with :func:`repro.core.pipeline.identify_words` this turns
+"assigning U201=0 unlocked the word" into "holding (addr != base) low
+unlocked the word" — reverse engineering with nouns.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..netlist.cone import cone_nets, extract_cone, extract_subcircuit
+from ..netlist.netlist import Gate, Netlist
+from ..netlist.simulate import evaluate_combinational
+from .words import Word
+
+__all__ = ["ControlExplanation", "explain_control_signal", "explain_controls"]
+
+_VERIFY_VECTORS = 24
+_MAX_CONE_DEPTH = 12
+
+
+@dataclass(frozen=True)
+class ControlExplanation:
+    """What a control signal computes, if we could name it."""
+
+    signal: str
+    kind: str  # "eq" | "ne" | "any" | "all" | "none" | "unknown"
+    operands: Tuple[Word, ...]
+    verified: bool
+
+    def describe(self) -> str:
+        if self.kind == "unknown":
+            return f"{self.signal} = <unrecognized function>"
+        names = " , ".join(str(w) for w in self.operands)
+        check = "verified" if self.verified else "UNVERIFIED"
+        return f"{self.signal} = {self.kind}({names})  ({check})"
+
+
+def explain_control_signal(
+    netlist: Netlist,
+    signal: str,
+    words: Sequence[Word],
+    seed: int = 0,
+) -> ControlExplanation:
+    """Try to name the function ``signal`` computes over ``words``."""
+    cone = extract_cone(netlist, signal, _MAX_CONE_DEPTH)
+    reachable = cone_nets(cone)
+    candidates: List[Word] = [
+        w for w in words if set(w.bits) <= reachable and w.width >= 2
+    ]
+    for word_a in candidates:
+        for word_b in candidates:
+            if word_a is word_b or word_a.width != word_b.width:
+                continue
+            for kind in ("eq", "ne"):
+                if _check_semantics(
+                    netlist, signal, (word_a, word_b), kind, seed
+                ):
+                    operands = tuple(sorted((word_a, word_b), key=lambda w: w.bits))
+                    return ControlExplanation(signal, kind, operands, True)
+    for word in candidates:
+        for kind in ("any", "all"):
+            if _check_semantics(netlist, signal, (word,), kind, seed):
+                return ControlExplanation(signal, kind, (word,), True)
+    return ControlExplanation(signal, "unknown", (), False)
+
+
+def explain_controls(
+    netlist: Netlist,
+    signals: Sequence[str],
+    words: Sequence[Word],
+    seed: int = 0,
+) -> List[ControlExplanation]:
+    """Explain every signal; unrecognized ones are reported as such."""
+    return [
+        explain_control_signal(netlist, signal, words, seed)
+        for signal in signals
+    ]
+
+
+def _check_semantics(
+    netlist: Netlist,
+    signal: str,
+    operands: Tuple[Word, ...],
+    kind: str,
+    seed: int,
+) -> bool:
+    """Simulate the signal's cone cut at the operand words."""
+    operand_nets: Set[str] = set()
+    for word in operands:
+        operand_nets.update(word.bits)
+    boundary = netlist.cone_leaf_nets() | operand_nets
+    sub = extract_subcircuit(
+        netlist, [signal], depth=_MAX_CONE_DEPTH, boundary=boundary
+    )
+    # Every non-operand cut net would inject unknowns: bail out unless the
+    # cone is a pure function of the operand words (plus true leaves we
+    # can drive freely — but then the function would not be well-defined,
+    # so require operand-only support).
+    free = [n for n in sub.primary_inputs if n not in operand_nets]
+    if free:
+        return False
+
+    rng = random.Random(seed)
+    width = operands[0].width
+    vectors: List[Tuple[int, ...]] = []
+    for _ in range(_VERIFY_VECTORS):
+        vectors.append(
+            tuple(rng.randint(0, (1 << width) - 1) for _ in operands)
+        )
+    if len(operands) == 2:
+        # Equality is rare under random vectors: force some equal pairs.
+        vectors.extend(
+            (value, value) for value in (0, (1 << width) - 1, 5 % (1 << width))
+        )
+    for values in vectors:
+        sources: Dict[str, int] = {}
+        for word, value in zip(operands, values):
+            for i, bit in enumerate(word.bits):
+                sources[bit] = (value >> i) & 1
+        result = evaluate_combinational(sub, sources).get(signal)
+        if result is None:
+            return False
+        if kind == "eq":
+            expected = int(values[0] == values[1])
+        elif kind == "ne":
+            expected = int(values[0] != values[1])
+        elif kind == "any":
+            expected = int(values[0] != 0)
+        else:  # all
+            expected = int(values[0] == (1 << width) - 1)
+        if result != expected:
+            return False
+    return True

@@ -1,0 +1,181 @@
+"""Functional refinement of structurally identified words.
+
+The paper's related-work section draws the standard division of labour:
+structural techniques group bits fast, then "functional techniques ...
+may be applied after words are identified using a structural technique to
+further improve the word identification process."  This module is that
+second pass.
+
+The refinement checks *functional bit symmetry*: the bits of a genuine
+word are produced by parallel instances of the same function over
+corresponding operand bits, so under random common stimulus every bit's
+response profile has the same relationship to its own cone inputs.  We
+approximate this with simulation signatures:
+
+1. extract each bit's depth-limited cone as a subcircuit,
+2. drive the cone's leaves with shared pseudo-random vectors (leaves are
+   aligned by sorted position, matching how hash keys anonymize them),
+3. the bit's *functional signature* is its output bit-string over the
+   vectors.
+
+Bits of a structurally identified word whose signatures disagree are
+split off into their own group — catching the structural matcher's rare
+false merges (two different functions can share a gate-type skeleton,
+e.g. ``a·(b+c)`` vs ``a·(b+c)`` with swapped polarity conventions deeper
+than the cone depth).  Like every stage here, the refinement only splits;
+it never invents new groupings.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.cone import extract_subcircuit
+from ..netlist.netlist import Netlist
+from ..netlist.simulate import evaluate_combinational
+from .reduction import reduce_netlist
+from .words import ControlAssignment, IdentificationResult, Word
+
+__all__ = [
+    "FunctionalRefinement",
+    "functional_signature",
+    "refine_words",
+    "refine_result",
+]
+
+DEFAULT_VECTORS = 16
+
+
+def functional_signature(
+    netlist: Netlist,
+    net: str,
+    depth: int = 4,
+    vectors: int = DEFAULT_VECTORS,
+    seed: int = 0,
+    boundary=None,
+) -> Tuple[int, ...]:
+    """Simulation signature of one bit's cone under canonical stimulus.
+
+    The cone's cut nets are sorted and driven with the same pseudo-random
+    vectors for every bit, so two bits implementing the same function of
+    equally-many inputs get equal signatures regardless of net names.
+    ``None`` outputs (X) are encoded as 2 so undriven cones never
+    accidentally match a real constant.
+    """
+    sub = extract_subcircuit(netlist, [net], depth, boundary=boundary)
+    leaves = sorted(sub.primary_inputs)
+    rng = random.Random(seed)
+    signature: List[int] = []
+    for _ in range(vectors):
+        stimulus = {leaf: rng.randint(0, 1) for leaf in leaves}
+        value = evaluate_combinational(sub, stimulus).get(net)
+        signature.append(2 if value is None else value)
+    return tuple(signature)
+
+
+@dataclass
+class FunctionalRefinement:
+    """Outcome of :func:`refine_words`."""
+
+    words: List[Word]
+    split_words: List[Word]  # original words that failed the check
+    demoted_bits: List[str]  # bits separated from their word
+
+    @property
+    def num_checked(self) -> int:
+        return len(self.words) + len(self.split_words)
+
+
+def refine_words(
+    netlist: Netlist,
+    words: Sequence[Word],
+    depth: int = 4,
+    vectors: int = DEFAULT_VECTORS,
+    seed: int = 0,
+    assignments: Optional[Dict[Word, ControlAssignment]] = None,
+) -> FunctionalRefinement:
+    """Split structurally identified words whose bits are not functionally
+    symmetric.
+
+    For each word, bits are grouped by functional signature; the largest
+    signature class stays a word (if ≥ 2 bits) and the rest are demoted to
+    singletons.  Returns the surviving words plus bookkeeping about what
+    was split.
+
+    ``assignments`` maps words to the
+    :class:`~repro.core.words.ControlAssignment` that unlocked them.  A
+    word recovered through control signals is *meant* to be asymmetric
+    until those signals take their assigned values (that is the paper's
+    thesis), so its bits are simulated on the reduced circuit — exactly
+    the circuit the matching stage accepted them on.
+    """
+    boundary = netlist.cone_leaf_nets()
+    kept: List[Word] = []
+    split: List[Word] = []
+    demoted: List[str] = []
+    for word in words:
+        assignment = (assignments or {}).get(word)
+        if assignment is not None:
+            scope = extract_subcircuit(
+                netlist, list(word.bits), depth, boundary=boundary
+            )
+            target = reduce_netlist(scope, assignment.as_dict()).netlist
+            target_boundary = None
+        else:
+            target = netlist
+            target_boundary = boundary
+        classes: Dict[Tuple[int, ...], List[str]] = {}
+        for bit in word.bits:
+            signature = functional_signature(
+                target, bit, depth, vectors, seed, boundary=target_boundary
+            )
+            classes.setdefault(signature, []).append(bit)
+        if len(classes) == 1:
+            kept.append(word)
+            continue
+        split.append(word)
+        survivors = max(classes.values(), key=len)
+        if len(survivors) >= 2:
+            kept.append(Word(tuple(survivors)))
+        else:
+            demoted.extend(survivors)
+        for signature, bits in classes.items():
+            if bits is survivors:
+                continue
+            if len(bits) >= 2:
+                kept.append(Word(tuple(bits)))
+            else:
+                demoted.extend(bits)
+    return FunctionalRefinement(kept, split, demoted)
+
+
+def refine_result(
+    netlist: Netlist,
+    result: IdentificationResult,
+    depth: int = 4,
+    vectors: int = DEFAULT_VECTORS,
+    seed: int = 0,
+) -> IdentificationResult:
+    """Apply the refinement to a pipeline result, preserving metadata."""
+    refinement = refine_words(
+        netlist,
+        result.words,
+        depth=depth,
+        vectors=vectors,
+        seed=seed,
+        assignments=result.control_assignments,
+    )
+    refined = IdentificationResult()
+    refined.words = refinement.words
+    refined.singletons = list(result.singletons) + refinement.demoted_bits
+    refined.trace = result.trace
+    refined.runtime_seconds = result.runtime_seconds
+    surviving = {w.bit_set for w in refinement.words}
+    refined.control_assignments = {
+        word: assignment
+        for word, assignment in result.control_assignments.items()
+        if word.bit_set in surviving
+    }
+    return refined

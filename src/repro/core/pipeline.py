@@ -1,0 +1,229 @@
+"""The word-identification pipeline — the paper's Figure 2 flow.
+
+Stages, in order:
+
+1. *Find potential bits of a word* (Section 2.2): scan the netlist file and
+   group adjacent lines by root gate type.
+2. *Find bits with fully/partially matching structures* (Section 2.3):
+   sequential pairwise comparison of second-level subtree hash keys;
+   dissimilar subtrees are remembered.
+3. *Find relevant control signals* (Section 2.4): nets common to all
+   dissimilar subtrees, minus dominated ones.
+4. *Assign values / simplify circuit* (Section 2.5): controlling values are
+   tried one signal at a time, then in pairs (``max_simultaneous``
+   configurable — the paper stops at 2 and names >2 as future work).
+5. *Words found?* — after each reduction the subgroup is re-checked for
+   full similarity; the first assignment that makes every bit match wins.
+   If no assignment fully unifies the subgroup, the best partition seen is
+   kept (falling back to the unreduced full-match partition, which is what
+   the baseline would produce).
+
+Reduction runs on the subcircuit induced by the subgroup's fanin cones:
+everything the hash keys can observe lives there, so simplifying the whole
+netlist (as the paper phrases it) and simplifying the cone union are
+equivalent for the re-check, and the latter keeps per-subgroup cost small.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..netlist.cone import extract_subcircuit
+from ..netlist.netlist import Netlist
+from .control import ControlSignalCandidate, find_control_signals
+from .grouping import group_by_adjacency, group_register_inputs
+from .hashkey import BitSignature, SignatureIndex, signature_of
+from .matching import Subgroup, form_subgroups
+from .reduction import InfeasibleAssignment, reduce_netlist
+from .words import ControlAssignment, IdentificationResult, StageTrace, Word
+
+__all__ = ["PipelineConfig", "identify_words"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tuning knobs for :func:`identify_words`.
+
+    ``depth``
+        Fanin-cone depth in gate levels (paper: 4).
+    ``max_simultaneous``
+        Largest number of control signals assigned at once (paper: 2).
+    ``allow_partial``
+        With ``False`` the pipeline degrades to the shape-hashing baseline
+        of [6]: full matches only, no control signals, no reduction.
+    ``grouping``
+        ``"adjacency"`` (Section 2.2, default) or ``"registers"`` (the
+        netlist-order-independent variation).
+    ``max_control_signals``
+        Safety cap on candidates per subgroup; the paper observes the
+        number is small in practice, this guards degenerate inputs.
+    ``accept_partial_heals``
+        The paper accepts an assignment only when it makes the whole
+        subgroup fully similar ("we recheck if words can be identified").
+        Enabling this extension also keeps the best partial unification
+        seen — more words grouped, at the cost of extra control signals
+        spent on non-word structures (evaluated in the ablation bench).
+    """
+
+    depth: int = 4
+    max_simultaneous: int = 2
+    allow_partial: bool = True
+    grouping: str = "adjacency"
+    max_control_signals: int = 8
+    accept_partial_heals: bool = False
+
+    def __post_init__(self):
+        if self.depth < 1:
+            raise ValueError("depth must be >= 1")
+        if self.max_simultaneous < 1:
+            raise ValueError("max_simultaneous must be >= 1")
+        if self.grouping not in ("adjacency", "registers"):
+            raise ValueError(f"unknown grouping {self.grouping!r}")
+
+
+def identify_words(
+    netlist: Netlist, config: Optional[PipelineConfig] = None
+) -> IdentificationResult:
+    """Run the full word-identification flow on a netlist."""
+    config = config or PipelineConfig()
+    started = time.perf_counter()
+    result = IdentificationResult()
+    trace = result.trace
+
+    if config.grouping == "adjacency":
+        groups = group_by_adjacency(netlist)
+    else:
+        groups = group_register_inputs(netlist)
+    trace.num_groups = len(groups)
+    trace.num_candidate_nets = sum(len(g) for g in groups)
+
+    index = SignatureIndex(netlist, config.depth)
+    boundary = netlist.cone_leaf_nets()
+    for group in groups:
+        signatures = [index.signature(net) for net in group]
+        subgroups = form_subgroups(
+            signatures, allow_partial=config.allow_partial
+        )
+        trace.num_subgroups += len(subgroups)
+        for subgroup in subgroups:
+            _process_subgroup(netlist, subgroup, config, result, boundary)
+
+    result.runtime_seconds = time.perf_counter() - started
+    return result
+
+
+# ----------------------------------------------------------------------
+# per-subgroup work
+# ----------------------------------------------------------------------
+
+def _process_subgroup(
+    netlist: Netlist,
+    subgroup: Subgroup,
+    config: PipelineConfig,
+    result: IdentificationResult,
+    boundary: Optional[set] = None,
+) -> None:
+    trace = result.trace
+    bits = subgroup.bits
+    if len(bits) == 1:
+        result.singletons.extend(bits)
+        return
+    if subgroup.fully_matched:
+        trace.num_fully_matched_subgroups += 1
+        result.words.append(Word(tuple(bits)))
+        return
+    if not subgroup.partially_matched or not config.allow_partial:
+        # Mixed/degenerate subgroup: fall back to the full-match partition.
+        _emit_partition(
+            _full_match_partition(subgroup.signatures), None, result
+        )
+        return
+
+    trace.num_partially_matched_subgroups += 1
+    candidates = find_control_signals(subgroup)[: config.max_control_signals]
+    trace.num_control_signal_candidates += len(candidates)
+
+    baseline_partition = _full_match_partition(subgroup.signatures)
+    best_partition = baseline_partition
+    best_score = _partition_score(baseline_partition)
+    best_assignment: Optional[ControlAssignment] = None
+
+    if candidates:
+        subcircuit = extract_subcircuit(
+            netlist, bits, config.depth, boundary=boundary
+        )
+        for assignment in _assignments(candidates, config.max_simultaneous):
+            trace.num_assignments_tried += 1
+            try:
+                reduced = reduce_netlist(subcircuit, assignment)
+            except InfeasibleAssignment:
+                continue
+            reduced_index = SignatureIndex(reduced.netlist, config.depth)
+            new_signatures = [reduced_index.signature(net) for net in bits]
+            partition = _full_match_partition(new_signatures)
+            unified = len(partition) == 1 and len(partition[0]) == len(bits)
+            if unified:
+                # Every bit unified: the word is found, stop searching.
+                best_partition = partition
+                best_assignment = ControlAssignment.of(assignment)
+                break
+            if config.accept_partial_heals:
+                score = _partition_score(partition)
+                if score > best_score:
+                    best_score = score
+                    best_partition = partition
+                    best_assignment = ControlAssignment.of(assignment)
+
+    if best_assignment is not None:
+        trace.num_reductions_that_matched += 1
+    _emit_partition(best_partition, best_assignment, result)
+
+
+def _assignments(
+    candidates: Sequence[ControlSignalCandidate], max_simultaneous: int
+) -> Iterator[Dict[str, int]]:
+    """Candidate value assignments: single signals first, then pairs, ...
+
+    For each subset of signals, the cartesian product of their feasible
+    values is tried.  The paper explores singles then pairs; the subset
+    size cap is ``max_simultaneous``.
+    """
+    for size in range(1, max_simultaneous + 1):
+        if size > len(candidates):
+            return
+        for subset in itertools.combinations(candidates, size):
+            value_choices = [c.values for c in subset]
+            for values in itertools.product(*value_choices):
+                yield {c.net: v for c, v in zip(subset, values)}
+
+
+def _full_match_partition(
+    signatures: Sequence[BitSignature],
+) -> List[List[BitSignature]]:
+    """Partition bits into maximal runs of fully-matching structure."""
+    runs = form_subgroups(signatures, allow_partial=False)
+    return [list(run.signatures) for run in runs]
+
+
+def _partition_score(partition: List[List[BitSignature]]) -> Tuple[int, int]:
+    """Order partitions: larger best word first, then fewer fragments."""
+    largest = max(len(run) for run in partition)
+    return (largest, -len(partition))
+
+
+def _emit_partition(
+    partition: List[List[BitSignature]],
+    assignment: Optional[ControlAssignment],
+    result: IdentificationResult,
+) -> None:
+    for run in partition:
+        if len(run) >= 2:
+            word = Word(tuple(sig.net for sig in run))
+            result.words.append(word)
+            if assignment is not None:
+                result.control_assignments[word] = assignment
+        else:
+            result.singletons.append(run[0].net)

@@ -1,0 +1,239 @@
+"""Word propagation — the downstream consumer of identified words.
+
+The paper motivates its accuracy gains by what comes next: "it is also
+used in the subsequent stages of reverse engineering techniques such as
+word propagation in [6] which require an initial set of full words to
+operate on.  Having a larger set of full words will allow these functions
+to achieve better results."  This module implements that stage in the
+style of WordRev [6], so the repository covers the full
+identify-then-propagate loop.
+
+Starting from seed words (typically the output of
+:func:`repro.core.pipeline.identify_words`), propagation grows the word
+set to a fixpoint:
+
+*Forward* — if every bit of a word feeds exactly one consumer of one gate
+type (an operator array: the per-bit AND of a masking operation, the mux
+row of a bus selector...), the consumers' outputs form a new word.
+
+*Backward* — if every bit of a word is driven by gates of one type, the
+drivers' per-bit inputs (excluding nets shared by all bits, which are
+control/select signals, and constants) form new words when the
+correspondence is unambiguous — e.g. the two source words of the bitwise
+operation that produced this word.
+
+Buffers and inverters are traversed transparently in both directions, so
+polarity and fanout repair do not break alignment.
+
+Propagation is deliberately conservative: a step fires only when the
+bit-to-bit correspondence is unique.  Ambiguous fanout (a bit feeding two
+NAND arrays) is skipped rather than guessed — wrong words poison every
+later stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..netlist.netlist import Gate, Netlist
+from .grouping import root_type_of
+from .words import Word
+
+__all__ = ["PropagationResult", "propagate_words"]
+
+
+@dataclass
+class PropagationResult:
+    """Outcome of :func:`propagate_words`.
+
+    ``words`` is the closed set (seeds plus derived); ``derived`` only the
+    new ones, in discovery order; ``rounds`` how many sweeps ran before
+    the fixpoint.
+    """
+
+    words: List[Word]
+    derived: List[Word]
+    rounds: int
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+
+def propagate_words(
+    netlist: Netlist,
+    seeds: Sequence[Word],
+    max_rounds: int = 10,
+    min_width: int = 2,
+) -> PropagationResult:
+    """Grow ``seeds`` through the netlist until no new word appears."""
+    known: Dict[FrozenSet[str], Word] = {}
+    ordered: List[Word] = []
+    derived: List[Word] = []
+
+    def add(word: Optional[Word], new: bool) -> bool:
+        if word is None or word.width < min_width:
+            return False
+        key = word.bit_set
+        if key in known:
+            return False
+        # Reject words overlapping an existing one: propagation must keep
+        # the word set a partition-like family or scores become circular.
+        for existing in known:
+            if key & existing:
+                return False
+        known[key] = word
+        ordered.append(word)
+        if new:
+            derived.append(word)
+        return True
+
+    for seed in seeds:
+        add(seed, new=False)
+
+    rounds = 0
+    frontier: List[Word] = list(ordered)
+    while frontier and rounds < max_rounds:
+        rounds += 1
+        next_frontier: List[Word] = []
+        for word in frontier:
+            for candidate in _forward_candidates(netlist, word):
+                if add(candidate, new=True):
+                    next_frontier.append(candidate)
+            for candidate in _backward_candidates(netlist, word):
+                if add(candidate, new=True):
+                    next_frontier.append(candidate)
+        frontier = next_frontier
+    return PropagationResult(ordered, derived, rounds)
+
+
+# ----------------------------------------------------------------------
+# forward
+# ----------------------------------------------------------------------
+
+def _through_buffers_forward(netlist: Netlist, net: str) -> str:
+    """Follow single-fanout BUF/INV chains downstream."""
+    while True:
+        consumers = netlist.fanouts(net)
+        if len(consumers) != 1:
+            return net
+        gate = consumers[0]
+        if gate.cell.family != "buf":
+            return net
+        net = gate.output
+    # unreachable
+
+
+def _forward_candidates(netlist: Netlist, word: Word) -> Iterable[Word]:
+    """Words formed by parallel consumers of this word's bits."""
+    # For each bit: its non-buffer consumers, keyed by qualified gate type.
+    per_bit: List[Dict[str, List[Gate]]] = []
+    for bit in word.bits:
+        net = _through_buffers_forward(netlist, bit)
+        by_type: Dict[str, List[Gate]] = {}
+        for gate in netlist.fanouts(net):
+            if gate.is_ff:
+                continue
+            by_type.setdefault(root_type_of(gate), []).append(gate)
+        per_bit.append(by_type)
+    if not per_bit:
+        return
+    # Gate types every bit feeds.
+    shared_types = set(per_bit[0])
+    for by_type in per_bit[1:]:
+        shared_types &= set(by_type)
+    for gate_type in sorted(shared_types):
+        rows = [by_type[gate_type] for by_type in per_bit]
+        if any(len(row) != 1 for row in rows):
+            continue  # ambiguous alignment: skip, never guess
+        outputs = [row[0].output for row in rows]
+        if len(set(outputs)) != len(outputs):
+            continue  # several bits converge into one gate (a reduction)
+        yield Word(tuple(outputs))
+
+
+# ----------------------------------------------------------------------
+# backward
+# ----------------------------------------------------------------------
+
+def _through_buffers_backward(netlist: Netlist, net: str) -> str:
+    """Follow BUF/INV drivers upstream."""
+    while True:
+        driver = netlist.driver(net)
+        if driver is None or driver.cell.family != "buf":
+            return net
+        net = driver.inputs[0]
+
+
+def _backward_candidates(netlist: Netlist, word: Word) -> Iterable[Word]:
+    """Source words of the per-bit drivers of this word."""
+    drivers: List[Gate] = []
+    for bit in word.bits:
+        driver = netlist.driver(bit)
+        if driver is None or driver.is_ff or driver.cell.family == "buf":
+            # Through-buffer: re-resolve the real driver.
+            resolved = _through_buffers_backward(netlist, bit)
+            driver = netlist.driver(resolved)
+            if driver is None or driver.is_ff:
+                return
+        drivers.append(driver)
+    types = {root_type_of(g) for g in drivers}
+    if len(types) != 1:
+        return
+    arity = len(drivers[0].inputs)
+    # Nets appearing in EVERY bit's fanin are shared controls, not data.
+    shared: Set[str] = set(drivers[0].inputs)
+    for gate in drivers[1:]:
+        shared &= set(gate.inputs)
+    per_bit_data: List[List[str]] = []
+    for gate in drivers:
+        data = [
+            _through_buffers_backward(netlist, net)
+            for net in gate.inputs
+            if net not in shared and not _is_constant(netlist, net)
+        ]
+        per_bit_data.append(data)
+    widths = {len(data) for data in per_bit_data}
+    if widths == {1}:
+        # Unambiguous: one data input per bit.
+        nets = tuple(data[0] for data in per_bit_data)
+        if len(set(nets)) == len(nets):
+            yield Word(nets)
+        return
+    if widths == {2} and arity - len(shared) == 2:
+        # Two data inputs per bit (e.g. a mapped 2:1 mux row with the
+        # select absorbed as the shared net, or a bitwise op of two
+        # words).  The two source words are separated by matching the
+        # *driver type* of each input — a word's bits come from
+        # structurally parallel logic, so their drivers share a type.
+        yield from _split_two_source_words(netlist, per_bit_data)
+
+
+def _is_constant(netlist: Netlist, net: str) -> bool:
+    driver = netlist.driver(net)
+    return driver is not None and driver.cell.is_constant
+
+
+def _split_two_source_words(
+    netlist: Netlist, per_bit_data: List[List[str]]
+) -> Iterable[Word]:
+    lanes: Tuple[List[str], List[str]] = ([], [])
+    for data in per_bit_data:
+        keyed = sorted(data, key=lambda n: _driver_key(netlist, n))
+        lanes[0].append(keyed[0])
+        lanes[1].append(keyed[1])
+    for lane in lanes:
+        if len(set(lane)) == len(lane):
+            # Lane is consistent only if every driver agrees on type.
+            kinds = {_driver_key(netlist, n) for n in lane}
+            if len(kinds) == 1:
+                yield Word(tuple(lane))
+
+
+def _driver_key(netlist: Netlist, net: str) -> str:
+    driver = netlist.driver(net)
+    if driver is None:
+        return "$input"
+    if driver.is_ff:
+        return "$register"
+    return root_type_of(driver)

@@ -1,0 +1,132 @@
+"""Result datatypes shared across the word-identification pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+__all__ = ["Word", "ControlAssignment", "StageTrace", "IdentificationResult"]
+
+
+@dataclass(frozen=True)
+class Word:
+    """A group of nets identified as belonging to one word.
+
+    ``bits`` preserves discovery order (netlist file order); the set view is
+    what the evaluation metrics consume.
+    """
+
+    bits: Tuple[str, ...]
+
+    def __post_init__(self):
+        if len(set(self.bits)) != len(self.bits):
+            raise ValueError(f"duplicate bits in word: {self.bits}")
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+    @property
+    def bit_set(self) -> FrozenSet[str]:
+        return frozenset(self.bits)
+
+    def __contains__(self, net: str) -> bool:
+        return net in self.bits
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(self.bits) + "}"
+
+
+@dataclass(frozen=True)
+class ControlAssignment:
+    """Control-signal values that made a partially-matched group fully match.
+
+    ``assignments`` maps net → constant (0/1); the value is always the
+    controlling value of a gate the signal feeds inside the dissimilar
+    subtrees (Section 2.5).
+    """
+
+    assignments: Tuple[Tuple[str, int], ...]
+
+    @classmethod
+    def of(cls, mapping: Dict[str, int]) -> "ControlAssignment":
+        return cls(tuple(sorted(mapping.items())))
+
+    @property
+    def signals(self) -> Tuple[str, ...]:
+        return tuple(net for net, _ in self.assignments)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.assignments)
+
+    def __str__(self) -> str:
+        return ", ".join(f"{net}={val}" for net, val in self.assignments)
+
+
+@dataclass
+class StageTrace:
+    """Per-stage counters exposed for the Figure 2 flow inspection.
+
+    Every field corresponds to one box of the paper's flowchart, so
+    ``examples/quickstart.py --trace`` can narrate the run.
+    """
+
+    num_candidate_nets: int = 0
+    num_groups: int = 0
+    num_subgroups: int = 0
+    num_fully_matched_subgroups: int = 0
+    num_partially_matched_subgroups: int = 0
+    num_control_signal_candidates: int = 0
+    num_assignments_tried: int = 0
+    num_reductions_that_matched: int = 0
+
+    def lines(self) -> List[str]:
+        return [
+            f"candidate nets scanned:          {self.num_candidate_nets}",
+            f"first-level groups (Sec 2.2):    {self.num_groups}",
+            f"subgroups (Sec 2.3):             {self.num_subgroups}",
+            f"  fully matched:                 {self.num_fully_matched_subgroups}",
+            f"  partially matched:             {self.num_partially_matched_subgroups}",
+            f"control signals found (Sec 2.4): {self.num_control_signal_candidates}",
+            f"assignments tried (Sec 2.5):     {self.num_assignments_tried}",
+            f"reductions that matched:         {self.num_reductions_that_matched}",
+        ]
+
+
+@dataclass
+class IdentificationResult:
+    """Output of a word-identification technique on one netlist.
+
+    ``words`` contains multi-bit words only; ``singletons`` are candidate
+    bits that ended up alone (each is its own generated word for the
+    fragmentation metric).  ``control_assignments`` records, per identified
+    word, the assignment that unlocked it (empty for words matched without
+    reduction).  ``runtime_seconds`` is wall-clock for the Table 1 column.
+    """
+
+    words: List[Word] = field(default_factory=list)
+    singletons: List[str] = field(default_factory=list)
+    control_assignments: Dict[Word, ControlAssignment] = field(default_factory=dict)
+    trace: StageTrace = field(default_factory=StageTrace)
+    runtime_seconds: float = 0.0
+
+    @property
+    def control_signals(self) -> Tuple[str, ...]:
+        """Distinct control signals that unlocked a word (Table 1 last column)."""
+        seen: List[str] = []
+        for assignment in self.control_assignments.values():
+            for net in assignment.signals:
+                if net not in seen:
+                    seen.append(net)
+        return tuple(seen)
+
+    def word_of(self, net: str) -> Optional[Word]:
+        """The generated multi-bit word containing ``net``, if any."""
+        for word in self.words:
+            if net in word:
+                return word
+        return None
+
+    def all_generated_words(self) -> List[Word]:
+        """Multi-bit words plus singleton words, as the metrics see them."""
+        return self.words + [Word((net,)) for net in self.singletons]

@@ -1,0 +1,21 @@
+"""Evaluation harness: golden references, accuracy metrics, Table 1 runner."""
+
+from .metrics import EvaluationMetrics, WordOutcome, evaluate
+from .reference import (
+    REGISTER_NAME_RE,
+    ReferenceWord,
+    average_word_size,
+    extract_reference_words,
+)
+from .report import rows_from_json, rows_to_csv, rows_to_json
+from .runner import BenchmarkRun, run_benchmark, run_table1
+from .table import BenchmarkRow, TechniqueRow, average_row, render_table
+
+__all__ = [
+    "EvaluationMetrics", "WordOutcome", "evaluate",
+    "REGISTER_NAME_RE", "ReferenceWord", "average_word_size",
+    "extract_reference_words",
+    "rows_from_json", "rows_to_csv", "rows_to_json",
+    "BenchmarkRun", "run_benchmark", "run_table1",
+    "BenchmarkRow", "TechniqueRow", "average_row", "render_table",
+]

@@ -1,0 +1,136 @@
+"""Accuracy metrics for identified words (Section 3).
+
+For each reference word, against the set of generated words (multi-bit
+words plus singletons):
+
+*Fully found* — some generated word contains **all** bits of the reference
+word ("we consider a reference word to be fully found if a word found using
+our technique includes all bits of the reference word"; extra bits in the
+generated word do not disqualify it).
+
+*Not found* — no generated word contains two or more of the reference
+word's bits: "each bit of a reference word appears in a different word in
+the generated word set."
+
+*Partially found* — everything in between.  Each partially-found word gets
+a *fragmentation rate*: the number of generated words its bits are spread
+across, normalized by the word's width ("an 8-bit reference word split into
+two 4-bit generated words would be fragmented into two pieces", normalized
+to 2/8 = 0.25).  The reported rate is the average over partially-found
+words; 0 means there were none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.words import IdentificationResult, Word
+from .reference import ReferenceWord
+
+__all__ = ["WordOutcome", "EvaluationMetrics", "evaluate"]
+
+FULL = "full"
+PARTIAL = "partial"
+NOT_FOUND = "not_found"
+
+
+@dataclass(frozen=True)
+class WordOutcome:
+    """How one reference word fared under a technique."""
+
+    reference: ReferenceWord
+    status: str  # FULL / PARTIAL / NOT_FOUND
+    fragments: int  # generated words the bits are spread across
+    fragmentation_rate: float  # fragments / width (0.0 when fully found)
+
+
+@dataclass
+class EvaluationMetrics:
+    """Aggregate accuracy of one technique on one benchmark (Table 1 row)."""
+
+    outcomes: List[WordOutcome] = field(default_factory=list)
+
+    @property
+    def num_reference_words(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def num_full(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == FULL)
+
+    @property
+    def num_partial(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == PARTIAL)
+
+    @property
+    def num_not_found(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == NOT_FOUND)
+
+    @property
+    def pct_full(self) -> float:
+        """"Full Found (%Word)" column."""
+        if not self.outcomes:
+            return 0.0
+        return 100.0 * self.num_full / len(self.outcomes)
+
+    @property
+    def pct_not_found(self) -> float:
+        """"Not Found (%Words)" column."""
+        if not self.outcomes:
+            return 0.0
+        return 100.0 * self.num_not_found / len(self.outcomes)
+
+    @property
+    def fragmentation_rate(self) -> float:
+        """"Partial Found (Word Frag. Rate)" column.
+
+        Average normalized fragmentation over partially-found words only;
+        0 when no word was partially found.
+        """
+        partial = [o for o in self.outcomes if o.status == PARTIAL]
+        if not partial:
+            return 0.0
+        return sum(o.fragmentation_rate for o in partial) / len(partial)
+
+
+def _classify(
+    reference: ReferenceWord, generated: Sequence[Word]
+) -> WordOutcome:
+    ref_bits = set(reference.bits)
+    containing: List[Word] = [
+        w for w in generated if ref_bits & w.bit_set
+    ]
+    for word in containing:
+        if ref_bits <= word.bit_set:
+            return WordOutcome(reference, FULL, 1, 0.0)
+    # Bits not inside any generated word count as their own fragment each.
+    grouped_bits = set()
+    fragments = 0
+    max_together = 0
+    for word in containing:
+        overlap = ref_bits & word.bit_set
+        grouped_bits |= overlap
+        fragments += 1
+        max_together = max(max_together, len(overlap))
+    loose = len(ref_bits - grouped_bits)
+    fragments += loose
+    if max_together <= 1:
+        return WordOutcome(
+            reference, NOT_FOUND, fragments, fragments / reference.width
+        )
+    return WordOutcome(
+        reference, PARTIAL, fragments, fragments / reference.width
+    )
+
+
+def evaluate(
+    reference_words: Sequence[ReferenceWord],
+    result: IdentificationResult,
+) -> EvaluationMetrics:
+    """Score an identification result against the golden reference."""
+    generated = result.all_generated_words()
+    metrics = EvaluationMetrics()
+    for reference in reference_words:
+        metrics.outcomes.append(_classify(reference, generated))
+    return metrics

@@ -1,0 +1,77 @@
+"""Golden reference word extraction (Section 3 experimental setup).
+
+The paper builds its reference case from a naming artifact of synthesis:
+"register names in the VHDL code for each benchmark were preserved in the
+gate-level netlist file.  Specifically, the output net of each flip-flop is
+named using the register name and bit position it corresponds to."  All bits
+of a register with matching names are grouped into a reference word — and
+the word's nets are "the input nets to the flip-flops, rather than the named
+output nets, since we are matching structure based on fanin-cones."
+
+Our synthesis flow preserves register names the same way
+(``<register>_reg_<bit>`` on flip-flop output nets), so this module
+mechanizes what the paper did by hand.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Pattern, Tuple
+
+from ..netlist.netlist import Netlist
+
+__all__ = ["ReferenceWord", "extract_reference_words", "REGISTER_NAME_RE"]
+
+#: Flip-flop output net naming convention preserved by synthesis:
+#: ``<register>_reg_<bit>`` (also accepts ``<register>_reg[<bit>]``).
+REGISTER_NAME_RE = re.compile(r"^(?P<reg>.+?)_reg_?[\[_]?(?P<bit>\d+)\]?$")
+
+
+@dataclass(frozen=True)
+class ReferenceWord:
+    """One golden word: a named register and its flip-flop D-input nets."""
+
+    register: str
+    bits: Tuple[str, ...]  # D-input nets, ordered by bit index
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+
+def extract_reference_words(
+    netlist: Netlist,
+    min_width: int = 2,
+    name_pattern: Pattern = REGISTER_NAME_RE,
+) -> List[ReferenceWord]:
+    """Group flip-flops into reference words by register name.
+
+    Returns words of at least ``min_width`` bits (1-bit registers carry no
+    grouping information), sorted by register name for determinism.  The
+    word bits are the flip-flops' D-input nets ordered by bit index.
+    """
+    by_register: Dict[str, List[Tuple[int, str]]] = {}
+    for ff in netlist.flip_flops():
+        match = name_pattern.match(ff.output)
+        if not match:
+            continue
+        register = match.group("reg")
+        bit_index = int(match.group("bit"))
+        by_register.setdefault(register, []).append((bit_index, ff.inputs[0]))
+    words: List[ReferenceWord] = []
+    for register in sorted(by_register):
+        entries = sorted(by_register[register])
+        if len(entries) < min_width:
+            continue
+        words.append(
+            ReferenceWord(register, tuple(net for _, net in entries))
+        )
+    return words
+
+
+def average_word_size(words: List[ReferenceWord]) -> float:
+    """The "Avg Size" column of Table 1."""
+    if not words:
+        return 0.0
+    return sum(w.width for w in words) / len(words)

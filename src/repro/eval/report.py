@@ -1,0 +1,97 @@
+"""Machine-readable exports of benchmark results (JSON / CSV).
+
+``python -m repro.eval.runner`` prints the human Table 1; downstream
+tooling (plots, regression tracking, CI dashboards) wants structure.
+These helpers serialize :class:`~repro.eval.table.BenchmarkRow` lists
+losslessly and deterministically.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import List, Sequence
+
+from .table import BenchmarkRow, TechniqueRow
+
+__all__ = ["rows_to_json", "rows_to_csv", "rows_from_json"]
+
+_CSV_COLUMNS = [
+    "benchmark", "gates", "nets", "flip_flops", "words", "avg_word_size",
+    "technique", "pct_full", "fragmentation_rate", "pct_not_found",
+    "time_seconds", "num_control_signals",
+]
+
+
+def _technique_dict(tech: TechniqueRow) -> dict:
+    return {
+        "pct_full": tech.pct_full,
+        "fragmentation_rate": tech.fragmentation_rate,
+        "pct_not_found": tech.pct_not_found,
+        "time_seconds": tech.time_seconds,
+        "num_control_signals": tech.num_control_signals,
+    }
+
+
+def rows_to_json(rows: Sequence[BenchmarkRow], indent: int = 2) -> str:
+    """Serialize rows as a JSON document (one object per benchmark)."""
+    payload = [
+        {
+            "benchmark": row.name,
+            "gates": row.num_gates,
+            "nets": row.num_nets,
+            "flip_flops": row.num_ffs,
+            "words": row.num_words,
+            "avg_word_size": row.avg_word_size,
+            "base": _technique_dict(row.base),
+            "ours": _technique_dict(row.ours),
+        }
+        for row in rows
+    ]
+    return json.dumps(payload, indent=indent)
+
+
+def rows_from_json(text: str) -> List[BenchmarkRow]:
+    """Inverse of :func:`rows_to_json`."""
+    rows: List[BenchmarkRow] = []
+    for entry in json.loads(text):
+        rows.append(
+            BenchmarkRow(
+                name=entry["benchmark"],
+                num_gates=entry["gates"],
+                num_nets=entry["nets"],
+                num_ffs=entry["flip_flops"],
+                num_words=entry["words"],
+                avg_word_size=entry["avg_word_size"],
+                base=TechniqueRow(technique="Base", **entry["base"]),
+                ours=TechniqueRow(technique="Ours", **entry["ours"]),
+            )
+        )
+    return rows
+
+
+def rows_to_csv(rows: Sequence[BenchmarkRow]) -> str:
+    """Serialize rows as CSV — one line per (benchmark, technique)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_CSV_COLUMNS)
+    writer.writeheader()
+    for row in rows:
+        for tech in (row.base, row.ours):
+            writer.writerow(
+                {
+                    "benchmark": row.name,
+                    "gates": row.num_gates,
+                    "nets": row.num_nets,
+                    "flip_flops": row.num_ffs,
+                    "words": row.num_words,
+                    "avg_word_size": row.avg_word_size,
+                    "technique": tech.technique,
+                    "pct_full": tech.pct_full,
+                    "fragmentation_rate": tech.fragmentation_rate,
+                    "pct_not_found": tech.pct_not_found,
+                    "time_seconds": tech.time_seconds,
+                    "num_control_signals": tech.num_control_signals,
+                }
+            )
+    return buffer.getvalue()

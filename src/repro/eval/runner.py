@@ -1,0 +1,159 @@
+"""Experiment runner: regenerate the paper's Table 1.
+
+For each benchmark this runs the shape-hashing baseline ("Base") and the
+control-signal technique ("Ours") on the same synthesized netlist, scores
+both against the golden reference words, and assembles a
+:class:`~repro.eval.table.BenchmarkRow`.
+
+Run it as a script (or via the ``repro-table1`` console entry point)::
+
+    python -m repro.eval.runner            # all 12 benchmarks
+    python -m repro.eval.runner b03 b12    # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from ..core.baseline import baseline_config, shape_hashing
+from ..core.pipeline import PipelineConfig, identify_words
+from ..core.words import IdentificationResult
+from ..netlist.netlist import Netlist
+from .metrics import EvaluationMetrics, evaluate
+from .reference import ReferenceWord, average_word_size, extract_reference_words
+from .table import BenchmarkRow, TechniqueRow, render_table
+
+__all__ = ["run_benchmark", "run_table1", "main", "BenchmarkRun"]
+
+
+class BenchmarkRun:
+    """Everything produced by evaluating one benchmark netlist."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        reference: List[ReferenceWord],
+        base_result: IdentificationResult,
+        ours_result: IdentificationResult,
+        base_metrics: EvaluationMetrics,
+        ours_metrics: EvaluationMetrics,
+    ):
+        self.netlist = netlist
+        self.reference = reference
+        self.base_result = base_result
+        self.ours_result = ours_result
+        self.base_metrics = base_metrics
+        self.ours_metrics = ours_metrics
+
+    def row(self) -> BenchmarkRow:
+        return BenchmarkRow(
+            name=self.netlist.name,
+            num_gates=self.netlist.num_gates,
+            num_nets=self.netlist.num_nets,
+            num_ffs=self.netlist.num_ffs,
+            num_words=len(self.reference),
+            avg_word_size=average_word_size(self.reference),
+            base=_technique_row("Base", self.base_result, self.base_metrics),
+            ours=_technique_row("Ours", self.ours_result, self.ours_metrics),
+        )
+
+
+def _technique_row(
+    name: str, result: IdentificationResult, metrics: EvaluationMetrics
+) -> TechniqueRow:
+    return TechniqueRow(
+        technique=name,
+        pct_full=metrics.pct_full,
+        fragmentation_rate=metrics.fragmentation_rate,
+        pct_not_found=metrics.pct_not_found,
+        time_seconds=result.runtime_seconds,
+        num_control_signals=len(result.control_signals),
+    )
+
+
+def run_benchmark(
+    netlist: Netlist, config: Optional[PipelineConfig] = None
+) -> BenchmarkRun:
+    """Evaluate Base and Ours on one netlist against its golden words."""
+    config = config or PipelineConfig()
+    reference = extract_reference_words(netlist)
+    base_result = shape_hashing(
+        netlist, baseline_config(depth=config.depth, grouping=config.grouping)
+    )
+    ours_result = identify_words(netlist, config)
+    return BenchmarkRun(
+        netlist=netlist,
+        reference=reference,
+        base_result=base_result,
+        ours_result=ours_result,
+        base_metrics=evaluate(reference, base_result),
+        ours_metrics=evaluate(reference, ours_result),
+    )
+
+
+def run_table1(
+    names: Optional[Sequence[str]] = None,
+    config: Optional[PipelineConfig] = None,
+) -> List[BenchmarkRow]:
+    """Synthesize and evaluate the Table 1 benchmarks; returns their rows."""
+    from ..synth.designs import BENCHMARKS  # deferred: designs are heavy
+
+    selected = list(names) if names else list(BENCHMARKS)
+    rows: List[BenchmarkRow] = []
+    for name in selected:
+        if name not in BENCHMARKS:
+            raise KeyError(
+                f"unknown benchmark {name!r}; have {sorted(BENCHMARKS)}"
+            )
+        netlist = BENCHMARKS[name]()
+        rows.append(run_benchmark(netlist, config).row())
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce Table 1 of Tashjian & Davoodi, DAC 2015"
+    )
+    parser.add_argument(
+        "benchmarks",
+        nargs="*",
+        help="benchmark names (default: all of Table 1)",
+    )
+    parser.add_argument(
+        "--depth", type=int, default=4, help="fanin-cone depth (default 4)"
+    )
+    parser.add_argument(
+        "--max-simultaneous",
+        type=int,
+        default=2,
+        help="max control signals assigned at once (default 2)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write the rows as JSON"
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH", help="also write the rows as CSV"
+    )
+    args = parser.parse_args(argv)
+    config = PipelineConfig(
+        depth=args.depth, max_simultaneous=args.max_simultaneous
+    )
+    rows = run_table1(args.benchmarks or None, config)
+    print(render_table(rows))
+    if args.json:
+        from .report import rows_to_json
+
+        with open(args.json, "w") as handle:
+            handle.write(rows_to_json(rows) + "\n")
+    if args.csv:
+        from .report import rows_to_csv
+
+        with open(args.csv, "w") as handle:
+            handle.write(rows_to_csv(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""Fluent construction helper for gate-level netlists.
+
+The synthesis flow and the tests build a lot of gates; doing that through
+:meth:`Netlist.add_gate` alone means inventing a gate name and a net name
+for every single gate.  :class:`NetlistBuilder` automates both and returns
+the freshly driven net so logic can be composed like expressions::
+
+    b = NetlistBuilder("demo")
+    a, c = b.inputs("a", "c")
+    out = b.nand(a, c)             # creates gate U1 driving net n1
+    b.output(b.inv(out), name="y") # names the final net "y"
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .cells import (
+    AND,
+    BUF,
+    CellType,
+    DFF,
+    INV,
+    MUX,
+    NAND,
+    NOR,
+    OR,
+    TIE0,
+    TIE1,
+    XNOR,
+    XOR,
+)
+from .netlist import Gate, Netlist
+
+__all__ = ["NetlistBuilder"]
+
+
+class NetlistBuilder:
+    """Builds a :class:`Netlist` with auto-generated gate and net names.
+
+    Gate names follow the ``U<number>`` convention of synthesized netlists
+    (the paper's Figure 1 nets are U201, U215, ...); intermediate nets are
+    named after the gate that drives them (net ``U7`` is the output of gate
+    ``U7``), mirroring how synthesis tools emit flattened netlists.
+    """
+
+    def __init__(self, name: str = "top", prefix: str = "U", start: int = 1):
+        self.netlist = Netlist(name)
+        self._prefix = prefix
+        self._counter = itertools.count(start)
+
+    # ------------------------------------------------------------------
+    # naming
+    # ------------------------------------------------------------------
+    def fresh_name(self) -> str:
+        """Next unused ``U<number>`` name (used for both gate and its net)."""
+        while True:
+            name = f"{self._prefix}{next(self._counter)}"
+            if name not in self.netlist and not self.netlist.has_net(name):
+                return name
+
+    # ------------------------------------------------------------------
+    # ports
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> str:
+        self.netlist.add_input(name)
+        return name
+
+    def inputs(self, *names: str) -> Tuple[str, ...]:
+        return tuple(self.input(n) for n in names)
+
+    def input_word(self, name: str, width: int) -> List[str]:
+        """Declare ``width`` primary inputs named ``name_0 .. name_{w-1}``."""
+        return [self.input(f"{name}_{i}") for i in range(width)]
+
+    def output(self, net: str, name: Optional[str] = None) -> str:
+        """Mark ``net`` as a primary output, optionally buffering to ``name``."""
+        if name is not None and name != net:
+            net = self.gate(BUF, [net], output=name)
+        self.netlist.add_output(net)
+        return net
+
+    # ------------------------------------------------------------------
+    # generic gate creation
+    # ------------------------------------------------------------------
+    def gate(
+        self,
+        cell: CellType,
+        inputs: Sequence[str],
+        output: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        """Instantiate ``cell`` and return its output net name."""
+        if name is None and output is not None:
+            name = output if output not in self.netlist else self.fresh_name()
+        if name is None:
+            name = self.fresh_name()
+        if output is None:
+            output = name
+        self.netlist.add_gate(name, cell, inputs, output)
+        return output
+
+    # ------------------------------------------------------------------
+    # combinational shorthands
+    # ------------------------------------------------------------------
+    def buf(self, a: str, output: Optional[str] = None) -> str:
+        return self.gate(BUF, [a], output)
+
+    def inv(self, a: str, output: Optional[str] = None) -> str:
+        return self.gate(INV, [a], output)
+
+    def and_(self, *ins: str, output: Optional[str] = None) -> str:
+        return self.gate(AND, list(ins), output)
+
+    def nand(self, *ins: str, output: Optional[str] = None) -> str:
+        return self.gate(NAND, list(ins), output)
+
+    def or_(self, *ins: str, output: Optional[str] = None) -> str:
+        return self.gate(OR, list(ins), output)
+
+    def nor(self, *ins: str, output: Optional[str] = None) -> str:
+        return self.gate(NOR, list(ins), output)
+
+    def xor(self, *ins: str, output: Optional[str] = None) -> str:
+        return self.gate(XOR, list(ins), output)
+
+    def xnor(self, *ins: str, output: Optional[str] = None) -> str:
+        return self.gate(XNOR, list(ins), output)
+
+    def mux(self, sel: str, a: str, b: str, output: Optional[str] = None) -> str:
+        """2:1 mux: returns ``a`` when ``sel`` is 0, else ``b``."""
+        return self.gate(MUX, [sel, a, b], output)
+
+    def const0(self, output: Optional[str] = None) -> str:
+        return self.gate(TIE0, [], output)
+
+    def const1(self, output: Optional[str] = None) -> str:
+        return self.gate(TIE1, [], output)
+
+    # ------------------------------------------------------------------
+    # sequential shorthands
+    # ------------------------------------------------------------------
+    def dff(self, d: str, output: Optional[str] = None, name: Optional[str] = None) -> str:
+        """Register ``d``; returns the Q net.
+
+        The register's Q net name is significant: the golden-reference
+        extraction (Section 3 of the paper) matches register names preserved
+        by synthesis, so callers should pass e.g. ``output="count_reg_3"``.
+        """
+        return self.gate(DFF, [d], output, name=name)
+
+    def register_word(self, d_bits: Sequence[str], reg_name: str) -> List[str]:
+        """Register a word; Q nets are ``{reg_name}_reg_{i}``."""
+        return [
+            self.dff(d, output=f"{reg_name}_reg_{i}")
+            for i, d in enumerate(d_bits)
+        ]
+
+    # ------------------------------------------------------------------
+    # word-level helpers used by tests and examples
+    # ------------------------------------------------------------------
+    def word(self, name: str, width: int) -> List[str]:
+        """Alias of :meth:`input_word` for readability at call sites."""
+        return self.input_word(name, width)
+
+    def build(self) -> Netlist:
+        return self.netlist

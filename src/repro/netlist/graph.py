@@ -1,0 +1,152 @@
+"""NetworkX bridge and graph-level netlist analyses.
+
+Reverse-engineering workflows live and die by graph queries; this module
+exports a :class:`~repro.netlist.netlist.Netlist` as a ``networkx``
+directed graph (nodes = nets, edges = gate drives, gate metadata on the
+driven node) and provides the analyses the rest of the package and its
+users lean on:
+
+* :func:`to_networkx` / :func:`from_networkx` — lossless round trip,
+* :func:`logic_levels` — per-net combinational depth (levelization),
+* :func:`fanout_histogram` — the net fanout distribution (shared control
+  signals show up as the heavy tail),
+* :func:`cone_overlap` — Jaccard overlap of two nets' fanin cones, the
+  graph-level cousin of the paper's structural similarity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from .cells import CellLibrary, LIBRARY
+from .cone import DEFAULT_DEPTH, cone_nets, extract_cone
+from .netlist import Netlist
+
+__all__ = [
+    "to_networkx",
+    "from_networkx",
+    "logic_levels",
+    "fanout_histogram",
+    "cone_overlap",
+]
+
+
+def to_networkx(netlist: Netlist) -> "nx.DiGraph":
+    """Export the netlist as a net-level directed graph.
+
+    Nodes are net names; an edge ``u -> v`` means the gate driving ``v``
+    reads ``u``.  Driven nodes carry ``cell`` (type name), ``gate`` (the
+    instance name) and ``pins`` (the ordered input nets — edges alone
+    lose input order, which muxes need).  Primary inputs/outputs are
+    flagged with ``is_input`` / ``is_output``.
+    """
+    graph = nx.DiGraph(
+        name=netlist.name,
+        inputs=list(netlist.primary_inputs),
+        outputs=list(netlist.primary_outputs),
+    )
+    for net in sorted(netlist.nets()):
+        graph.add_node(net)
+    for net in netlist.primary_inputs:
+        graph.nodes[net]["is_input"] = True
+    for net in netlist.primary_outputs:
+        graph.nodes[net]["is_output"] = True
+    for position, gate in enumerate(netlist.gates_in_file_order()):
+        node = graph.nodes[gate.output]
+        node["cell"] = gate.cell.name
+        node["gate"] = gate.name
+        node["pins"] = list(gate.inputs)
+        node["position"] = position
+        for source in gate.inputs:
+            graph.add_edge(source, gate.output)
+    return graph
+
+
+def from_networkx(
+    graph: "nx.DiGraph", library: CellLibrary = LIBRARY
+) -> Netlist:
+    """Rebuild a netlist exported by :func:`to_networkx`.
+
+    Gate file order is restored from the ``position`` attribute, so the
+    round trip preserves the adjacency structure the grouping stage needs.
+    """
+    netlist = Netlist(graph.graph.get("name", "graph"))
+    input_order = graph.graph.get("inputs")
+    if input_order is None:
+        input_order = [
+            net for net, data in graph.nodes(data=True)
+            if data.get("is_input")
+        ]
+    for net in input_order:
+        netlist.add_input(net)
+    driven = sorted(
+        (
+            (data["position"], net, data)
+            for net, data in graph.nodes(data=True)
+            if "cell" in data
+        ),
+        key=lambda entry: entry[0],
+    )
+    for _, net, data in driven:
+        netlist.add_gate(
+            data["gate"], library.get(data["cell"]), data["pins"], net
+        )
+    output_order = graph.graph.get("outputs")
+    if output_order is None:
+        output_order = [
+            net for net, data in graph.nodes(data=True)
+            if data.get("is_output")
+        ]
+    for net in output_order:
+        netlist.add_output(net)
+    return netlist
+
+
+def logic_levels(netlist: Netlist) -> Dict[str, int]:
+    """Combinational depth of every net (sources at level 0).
+
+    Flip-flop outputs and primary inputs are level 0; a gate output is one
+    more than its deepest input.  The classic levelization used for
+    timing-ish analyses and for sanity-checking cone depths.
+    """
+    levels: Dict[str, int] = {net: 0 for net in netlist.cone_leaf_nets()}
+    for gate in netlist.topological_order():
+        if gate.is_ff:
+            continue
+        levels[gate.output] = 1 + max(
+            (levels.get(net, 0) for net in gate.inputs), default=0
+        )
+    return levels
+
+
+def fanout_histogram(netlist: Netlist) -> Dict[int, int]:
+    """Map fanout count -> number of nets with that fanout.
+
+    Control signals inserted by CAD tools are exactly the heavy tail of
+    this histogram — a quick triage view before running identification.
+    """
+    histogram: Dict[int, int] = {}
+    for net in netlist.nets():
+        count = len(netlist.fanouts(net))
+        histogram[count] = histogram.get(count, 0) + 1
+    return histogram
+
+
+def cone_overlap(
+    netlist: Netlist, net_a: str, net_b: str, depth: int = DEFAULT_DEPTH
+) -> float:
+    """Jaccard overlap of two nets' fanin cones (1.0 = identical cones).
+
+    The graph-level cousin of the paper's structural similarity: bits of
+    one word typically have *low* net overlap (parallel logic) but high
+    structural similarity, while replicated logic after CSE shows high
+    overlap.  Useful when debugging why two bits did or did not match.
+    """
+    nets_a = cone_nets(extract_cone(netlist, net_a, depth)) - {net_a}
+    nets_b = cone_nets(extract_cone(netlist, net_b, depth)) - {net_b}
+    if not nets_a and not nets_b:
+        return 1.0
+    union = nets_a | nets_b
+    return len(nets_a & nets_b) / len(union)

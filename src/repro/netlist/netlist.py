@@ -1,0 +1,282 @@
+"""Gate-level netlist data model.
+
+A :class:`Netlist` is an ordered collection of :class:`Gate` instances plus
+declared primary inputs and outputs.  Order matters: the paper's first-level
+grouping (Section 2.2) scans the netlist *file* line by line and groups nets
+whose defining lines are adjacent, so this model preserves gate (line)
+order and exposes it via :meth:`Netlist.gates_in_file_order`.
+
+Nets are referenced by name.  A net is driven by at most one gate (its
+*driver*); nets with no driver are primary inputs or dangling.  Flip-flop
+output nets are *register outputs*; the nets feeding flip-flop D pins are
+the ones grouped into words (the paper matches structure on fanin cones, so
+words are the FF *input* nets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .cells import CellType, DFF, LIBRARY
+
+__all__ = ["Gate", "Netlist", "NetlistError"]
+
+
+class NetlistError(ValueError):
+    """Raised on structurally invalid netlist operations."""
+
+
+class Gate:
+    """One gate instance: a cell type, ordered input nets, one output net."""
+
+    __slots__ = ("name", "cell", "inputs", "output")
+
+    def __init__(
+        self,
+        name: str,
+        cell: CellType,
+        inputs: Sequence[str],
+        output: str,
+    ):
+        cell._check_arity(len(inputs))
+        self.name = name
+        self.cell = cell
+        self.inputs: Tuple[str, ...] = tuple(inputs)
+        self.output = output
+
+    @property
+    def is_ff(self) -> bool:
+        return self.cell.sequential
+
+    def __repr__(self) -> str:
+        ins = ", ".join(self.inputs)
+        return f"<Gate {self.name}: {self.output} = {self.cell.name}({ins})>"
+
+
+class Netlist:
+    """A flat gate-level netlist.
+
+    The public mutation API (:meth:`add_gate`, :meth:`remove_gate`,
+    :meth:`replace_gate`) keeps the driver and fanout indices consistent;
+    callers never touch those directly.
+    """
+
+    def __init__(self, name: str = "top"):
+        self.name = name
+        self._gates: Dict[str, Gate] = {}
+        # Gate names in file order.  A dict is used as an ordered set so
+        # removal is O(1) and in-place replacement keeps the position
+        # (synthesis passes remove/replace thousands of gates; a list here
+        # makes them quadratic).
+        self._order: Dict[str, None] = {}
+        self._driver: Dict[str, Gate] = {}  # net -> driving gate
+        self._fanouts: Dict[str, List[Gate]] = {}  # net -> consuming gates
+        self.primary_inputs: List[str] = []
+        self.primary_outputs: List[str] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, net: str) -> None:
+        if net in self._driver:
+            raise NetlistError(f"net {net!r} already driven; cannot be an input")
+        if net not in self.primary_inputs:
+            self.primary_inputs.append(net)
+
+    def add_output(self, net: str) -> None:
+        if net not in self.primary_outputs:
+            self.primary_outputs.append(net)
+
+    def add_gate(
+        self,
+        name: str,
+        cell: CellType,
+        inputs: Sequence[str],
+        output: str,
+    ) -> Gate:
+        """Append a gate at the end of the file order."""
+        if name in self._gates:
+            raise NetlistError(f"duplicate gate name {name!r}")
+        if output in self._driver:
+            raise NetlistError(
+                f"net {output!r} already driven by {self._driver[output].name!r}"
+            )
+        if output in self.primary_inputs:
+            raise NetlistError(f"net {output!r} is a primary input")
+        gate = Gate(name, cell, inputs, output)
+        self._gates[name] = gate
+        self._order[name] = None
+        self._driver[output] = gate
+        for net in gate.inputs:
+            self._fanouts.setdefault(net, []).append(gate)
+        return gate
+
+    def remove_gate(self, name: str) -> Gate:
+        """Remove a gate; its output net becomes undriven."""
+        gate = self._gates.pop(name)
+        del self._order[name]
+        del self._driver[gate.output]
+        for net in gate.inputs:
+            self._fanouts[net].remove(gate)
+            if not self._fanouts[net]:
+                del self._fanouts[net]
+        return gate
+
+    def replace_gate(
+        self,
+        name: str,
+        cell: CellType,
+        inputs: Sequence[str],
+        output: Optional[str] = None,
+    ) -> Gate:
+        """Swap a gate's cell/inputs in place, keeping its file position."""
+        old = self._gates[name]
+        new_output = output if output is not None else old.output
+        # Detach old connectivity.
+        del self._driver[old.output]
+        for net in old.inputs:
+            self._fanouts[net].remove(old)
+            if not self._fanouts[net]:
+                del self._fanouts[net]
+        if new_output in self._driver:
+            raise NetlistError(f"net {new_output!r} already driven")
+        gate = Gate(name, cell, inputs, new_output)
+        self._gates[name] = gate  # name keeps its slot in _order
+        self._driver[new_output] = gate
+        for net in gate.inputs:
+            self._fanouts.setdefault(net, []).append(gate)
+        return gate
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __contains__(self, gate_name: str) -> bool:
+        return gate_name in self._gates
+
+    def gate(self, name: str) -> Gate:
+        return self._gates[name]
+
+    def has_net(self, net: str) -> bool:
+        return (
+            net in self._driver
+            or net in self._fanouts
+            or net in self.primary_inputs
+            or net in self.primary_outputs
+        )
+
+    def gates_in_file_order(self) -> Iterator[Gate]:
+        """Gates in the order their defining lines appear in the file."""
+        for name in self._order:
+            yield self._gates[name]
+
+    def gates(self) -> Iterator[Gate]:
+        return self.gates_in_file_order()
+
+    def driver(self, net: str) -> Optional[Gate]:
+        """The gate driving ``net``, or ``None`` for PIs / undriven nets."""
+        return self._driver.get(net)
+
+    def fanouts(self, net: str) -> Tuple[Gate, ...]:
+        """Gates consuming ``net`` (possibly empty)."""
+        return tuple(self._fanouts.get(net, ()))
+
+    def nets(self) -> Set[str]:
+        """All net names appearing anywhere in the netlist."""
+        result: Set[str] = set(self.primary_inputs)
+        result.update(self.primary_outputs)
+        result.update(self._driver)
+        result.update(self._fanouts)
+        return result
+
+    def flip_flops(self) -> List[Gate]:
+        """All sequential gates, in file order."""
+        return [g for g in self.gates_in_file_order() if g.is_ff]
+
+    def register_output_nets(self) -> Set[str]:
+        """Output nets of flip-flops (fanin-cone leaves)."""
+        return {g.output for g in self.flip_flops()}
+
+    def register_input_nets(self) -> List[str]:
+        """Nets feeding flip-flop D pins, in file order (word candidates)."""
+        return [g.inputs[0] for g in self.flip_flops()]
+
+    def cone_leaf_nets(self) -> Set[str]:
+        """Nets at which fanin cones terminate: PIs and FF outputs."""
+        leaves = set(self.primary_inputs)
+        leaves.update(self.register_output_nets())
+        return leaves
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_gates(self) -> int:
+        return len(self._gates)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets())
+
+    @property
+    def num_ffs(self) -> int:
+        return sum(1 for g in self._gates.values() if g.is_ff)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[Gate]:
+        """Combinational gates in topological order (FFs treated as sources).
+
+        Flip-flop gates appear at the end, after every combinational gate.
+        Raises :class:`NetlistError` if the combinational logic is cyclic.
+        """
+        leaves = self.cone_leaf_nets()
+        in_degree: Dict[str, int] = {}
+        waiting: Dict[str, List[Gate]] = {}
+        ready: List[Gate] = []
+        for gate in self.gates_in_file_order():
+            if gate.is_ff:
+                continue
+            pending = 0
+            for net in gate.inputs:
+                if net in leaves or self._driver.get(net) is None:
+                    continue
+                if self._driver[net].is_ff:
+                    continue
+                pending += 1
+                waiting.setdefault(net, []).append(gate)
+            in_degree[gate.name] = pending
+            if pending == 0:
+                ready.append(gate)
+        order: List[Gate] = []
+        cursor = 0
+        while cursor < len(ready):
+            gate = ready[cursor]
+            cursor += 1
+            order.append(gate)
+            for consumer in waiting.get(gate.output, ()):
+                in_degree[consumer.name] -= 1
+                if in_degree[consumer.name] == 0:
+                    ready.append(consumer)
+        if len(order) != len(in_degree):
+            raise NetlistError("combinational cycle detected")
+        order.extend(self.flip_flops())
+        return order
+
+    def copy(self, name: Optional[str] = None) -> "Netlist":
+        """Deep-enough copy: fresh gates and indices, shared cell types."""
+        dup = Netlist(name or self.name)
+        dup.primary_inputs = list(self.primary_inputs)
+        dup.primary_outputs = list(self.primary_outputs)
+        for gate in self.gates_in_file_order():
+            dup.add_gate(gate.name, gate.cell, gate.inputs, gate.output)
+        return dup
+
+    def __repr__(self) -> str:
+        return (
+            f"<Netlist {self.name}: {self.num_gates} gates, "
+            f"{self.num_nets} nets, {self.num_ffs} FFs>"
+        )

@@ -1,0 +1,102 @@
+"""Three-valued logic simulation for gate-level netlists.
+
+Simulation is not part of the paper's algorithm itself, but it is how this
+reproduction *validates* the algorithm's only semantics-changing step:
+circuit reduction (Section 2.5).  The property tests check that, for every
+input assignment consistent with the chosen control-signal values, the
+reduced netlist computes the same values as the original.
+
+Values are ``0``, ``1`` and ``None`` (unknown / X), matching
+:meth:`repro.netlist.cells.CellType.evaluate`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from .netlist import Gate, Netlist
+
+__all__ = ["evaluate_combinational", "step", "Simulator", "exhaustive_inputs"]
+
+Value = Optional[int]
+
+
+def evaluate_combinational(
+    netlist: Netlist, inputs: Mapping[str, Value]
+) -> Dict[str, Value]:
+    """Evaluate all combinational logic for one set of source values.
+
+    ``inputs`` maps source nets — primary inputs and flip-flop outputs — to
+    values.  Unlisted sources are X.  The result maps every net (sources
+    included) to its value; flip-flop gates are not evaluated (their outputs
+    are sources).
+    """
+    values: Dict[str, Value] = {net: None for net in netlist.cone_leaf_nets()}
+    values.update(inputs)
+    for gate in netlist.topological_order():
+        if gate.is_ff:
+            continue
+        in_values = [values.get(net) for net in gate.inputs]
+        values[gate.output] = gate.cell.evaluate(in_values)
+    return values
+
+
+def step(
+    netlist: Netlist,
+    primary_inputs: Mapping[str, Value],
+    state: Mapping[str, Value],
+) -> Dict[str, Value]:
+    """Advance the sequential circuit one clock cycle.
+
+    ``state`` maps flip-flop output nets to their current values.  Returns
+    the next state (flip-flop output net → value after the clock edge).
+    """
+    sources: Dict[str, Value] = dict(state)
+    sources.update(primary_inputs)
+    values = evaluate_combinational(netlist, sources)
+    return {ff.output: values.get(ff.inputs[0]) for ff in netlist.flip_flops()}
+
+
+class Simulator:
+    """Stateful multi-cycle simulator.
+
+    >>> sim = Simulator(netlist)          # doctest: +SKIP
+    >>> sim.reset(0)                      # doctest: +SKIP
+    >>> sim.clock({"start": 1})           # doctest: +SKIP
+    >>> sim.state["count_reg_0"]          # doctest: +SKIP
+    """
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.state: Dict[str, Value] = {
+            ff.output: None for ff in netlist.flip_flops()
+        }
+        self.values: Dict[str, Value] = {}
+
+    def reset(self, value: Value = 0) -> None:
+        """Force every register to ``value`` (models a global reset)."""
+        self.state = {net: value for net in self.state}
+
+    def clock(self, primary_inputs: Mapping[str, Value]) -> Dict[str, Value]:
+        """Apply inputs, settle combinational logic, clock all registers."""
+        sources: Dict[str, Value] = dict(self.state)
+        sources.update(primary_inputs)
+        self.values = evaluate_combinational(self.netlist, sources)
+        self.state = {
+            ff.output: self.values.get(ff.inputs[0])
+            for ff in self.netlist.flip_flops()
+        }
+        return dict(self.state)
+
+    def peek(self, net: str) -> Value:
+        """Value of ``net`` after the last :meth:`clock` call."""
+        if net in self.state:
+            return self.state[net]
+        return self.values.get(net)
+
+
+def exhaustive_inputs(nets: Sequence[str]) -> Iterator[Dict[str, int]]:
+    """All 2^n assignments over ``nets`` — for small-cone equivalence checks."""
+    for bits in itertools.product((0, 1), repeat=len(nets)):
+        yield dict(zip(nets, bits))

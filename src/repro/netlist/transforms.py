@@ -1,0 +1,57 @@
+"""Generic structural netlist transformations.
+
+These are the connectivity-level edits shared by the synthesis optimizer
+(:mod:`repro.synth.optimize`) and the reduction engine
+(:mod:`repro.core.reduction`): rewiring consumers from one net to another
+and sweeping logic that drives nothing observable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .netlist import Gate, Netlist
+
+__all__ = ["rewire_consumers", "sweep_dead_logic"]
+
+
+def rewire_consumers(netlist: Netlist, old_net: str, new_net: str) -> int:
+    """Point every consumer of ``old_net`` at ``new_net`` instead.
+
+    Returns the number of gates rewired.  The driver of ``old_net`` (if
+    any) is left in place — pair with :func:`sweep_dead_logic` to drop it
+    once nothing reads it.  Primary-output membership is a property of the
+    net name and is deliberately not transferred.
+    """
+    if old_net == new_net:
+        return 0
+    rewired = 0
+    for gate in list(netlist.fanouts(old_net)):
+        new_inputs = [new_net if n == old_net else n for n in gate.inputs]
+        netlist.replace_gate(gate.name, gate.cell, new_inputs)
+        rewired += 1
+    return rewired
+
+
+def sweep_dead_logic(netlist: Netlist) -> int:
+    """Remove gates whose outputs drive nothing observable.
+
+    Observable sinks are primary outputs and any gate input (flip-flops
+    included).  Returns the number of gates removed.  Iterates to a
+    fixpoint so whole dead cones disappear.
+    """
+    removed = 0
+    protected = set(netlist.primary_outputs)
+    while True:
+        dead: List[Gate] = [
+            gate
+            for gate in netlist.gates_in_file_order()
+            if not gate.is_ff
+            and gate.output not in protected
+            and not netlist.fanouts(gate.output)
+        ]
+        if not dead:
+            return removed
+        for gate in dead:
+            netlist.remove_gate(gate.name)
+            removed += 1

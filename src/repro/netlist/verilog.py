@@ -1,0 +1,243 @@
+"""Structural Verilog reader and writer for flat gate-level netlists.
+
+This supports the subset that synthesized, flattened netlists (such as the
+ITC99 gate-level releases) actually use:
+
+* one ``module`` with a port list,
+* ``input`` / ``output`` / ``wire`` declarations, scalar or vectored
+  (``input [7:0] a;`` — vector bits are canonicalized to ``a_<i>``),
+* gate instantiations with named connections
+  (``NAND2 U7 (.A(n1), .B(n2), .Z(n3));``) or positional connections with
+  the output first (``nand U7 (n3, n1, n2);``),
+* ``assign y = x;``, ``assign y = 1'b0;`` and ``assign y = 1'b1;``
+  (lowered to BUF / TIE gates),
+* ``//`` line comments and ``/* */`` block comments.
+
+Pin conventions: the output pin is named ``Z``, ``Y``, ``O``, ``OUT`` or
+``Q``; a flip-flop's data pin is ``D``; a mux's select pin is ``S`` and its
+data pins ``A`` (sel=0) and ``B`` (sel=1); other input pins are taken in
+alphabetical order (``A``, ``B``, ``C``...), which matches how the writer
+emits them.  Clock/reset pins (``CK``, ``CLK``, ``CP``, ``R``, ``RN``,
+``RST``) on flip-flops are accepted and dropped — the structural analysis
+treats registers as cone boundaries, so clock wiring is irrelevant to it.
+
+Line order of gate instantiations is preserved: the first-level grouping of
+the paper (Section 2.2) depends on it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .cells import BUF, CellLibrary, LIBRARY, TIE0, TIE1
+from .netlist import Netlist, NetlistError
+
+__all__ = ["parse_verilog", "parse_verilog_file", "write_verilog", "VerilogError"]
+
+_OUTPUT_PINS = ("Z", "Y", "O", "OUT", "Q")
+
+_COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.DOTALL)
+_DECL_RE = re.compile(
+    r"^(input|output|wire)\s+(?:\[(\d+)\s*:\s*(\d+)\]\s+)?(.+)$", re.DOTALL
+)
+_INSTANCE_RE = re.compile(r"^(\w+)\s+(\S+)\s*\((.*)\)$", re.DOTALL)
+_NAMED_PIN_RE = re.compile(r"\.\s*(\w+)\s*\(\s*([^)]*?)\s*\)")
+_ASSIGN_RE = re.compile(r"^assign\s+(\S+)\s*=\s*(\S+)$")
+_BIT_SELECT_RE = re.compile(r"^(\w+)\s*\[\s*(\d+)\s*\]$")
+
+
+class VerilogError(ValueError):
+    """Raised when the input is outside the supported structural subset."""
+
+
+def _canon_net(token: str) -> str:
+    """Canonicalize a net reference: ``a[3]`` becomes ``a_3``."""
+    token = token.strip()
+    match = _BIT_SELECT_RE.match(token)
+    if match:
+        return f"{match.group(1)}_{match.group(2)}"
+    return token
+
+
+def _split_statements(text: str) -> List[str]:
+    """Strip comments and split on ``;`` keeping statement text intact."""
+    text = _COMMENT_RE.sub(" ", text)
+    return [stmt.strip() for stmt in text.split(";") if stmt.strip()]
+
+
+def parse_verilog(text: str, library: CellLibrary = LIBRARY) -> Netlist:
+    """Parse structural Verilog source into a :class:`Netlist`."""
+    statements = _split_statements(text)
+    netlist: Optional[Netlist] = None
+    tie_counter = 0
+    for stmt in statements:
+        stmt = " ".join(stmt.split())
+        if stmt.startswith("module"):
+            header = re.match(r"module\s+(\w+)", stmt)
+            if not header:
+                raise VerilogError(f"malformed module header: {stmt!r}")
+            netlist = Netlist(header.group(1))
+            continue
+        if stmt == "endmodule":
+            continue
+        if netlist is None:
+            raise VerilogError("statement before module header")
+        decl = _DECL_RE.match(stmt)
+        if decl:
+            _apply_declaration(netlist, decl)
+            continue
+        assign = _ASSIGN_RE.match(stmt)
+        if assign:
+            tie_counter = _apply_assign(netlist, assign, tie_counter)
+            continue
+        inst = _INSTANCE_RE.match(stmt)
+        if inst:
+            _apply_instance(netlist, inst, library)
+            continue
+        raise VerilogError(f"unsupported statement: {stmt!r}")
+    if netlist is None:
+        raise VerilogError("no module found")
+    return netlist
+
+
+def parse_verilog_file(path, library: CellLibrary = LIBRARY) -> Netlist:
+    with open(path) as handle:
+        return parse_verilog(handle.read(), library)
+
+
+def _apply_declaration(netlist: Netlist, decl: "re.Match[str]") -> None:
+    kind, msb, lsb, names = decl.groups()
+    for raw in names.split(","):
+        base = raw.strip()
+        if not base:
+            continue
+        if msb is not None:
+            hi, lo = int(msb), int(lsb)
+            step = 1 if hi >= lo else -1
+            nets = [f"{base}_{i}" for i in range(lo, hi + step, step)]
+        else:
+            nets = [base]
+        for net in nets:
+            if kind == "input":
+                netlist.add_input(net)
+            elif kind == "output":
+                netlist.add_output(net)
+            # wires need no declaration in the model
+
+
+def _apply_assign(netlist: Netlist, match: "re.Match[str]", tie_counter: int) -> int:
+    target = _canon_net(match.group(1))
+    source = match.group(2)
+    if source in ("1'b0", "1'B0"):
+        netlist.add_gate(f"_tie{tie_counter}", TIE0, [], target)
+        return tie_counter + 1
+    if source in ("1'b1", "1'B1"):
+        netlist.add_gate(f"_tie{tie_counter}", TIE1, [], target)
+        return tie_counter + 1
+    netlist.add_gate(f"_buf_{target}", BUF, [_canon_net(source)], target)
+    return tie_counter
+
+
+def _apply_instance(
+    netlist: Netlist, match: "re.Match[str]", library: CellLibrary
+) -> None:
+    cell_name, inst_name, body = match.groups()
+    try:
+        cell = library.get(cell_name)
+    except KeyError as exc:
+        raise VerilogError(str(exc)) from exc
+    named = _NAMED_PIN_RE.findall(body)
+    if named:
+        pins: Dict[str, str] = {
+            pin.upper(): _canon_net(net) for pin, net in named if net.strip()
+        }
+        output = None
+        for candidate in _OUTPUT_PINS:
+            if candidate in pins:
+                output = pins.pop(candidate)
+                break
+        if output is None:
+            raise VerilogError(f"no output pin on instance {inst_name!r}")
+        if cell.sequential:
+            if "D" not in pins:
+                raise VerilogError(f"flip-flop {inst_name!r} has no D pin")
+            inputs = [pins["D"]]  # clock/reset pins are dropped (see module doc)
+        elif cell.family == "mux":
+            try:
+                inputs = [pins["S"], pins["A"], pins["B"]]
+            except KeyError as exc:
+                raise VerilogError(
+                    f"mux {inst_name!r} needs pins S, A, B"
+                ) from exc
+        else:
+            inputs = [pins[pin] for pin in sorted(pins)]
+    else:
+        nets = [_canon_net(t) for t in body.split(",") if t.strip()]
+        if not nets:
+            raise VerilogError(f"empty connection list on {inst_name!r}")
+        output, inputs = nets[0], nets[1:]
+    try:
+        netlist.add_gate(inst_name, cell, inputs, output)
+    except (NetlistError, ValueError) as exc:
+        raise VerilogError(f"instance {inst_name!r}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# writer
+# ----------------------------------------------------------------------
+
+def _pin_names(gate) -> Tuple[str, List[str]]:
+    """Return (output pin, input pins) for a gate per the writer convention."""
+    if gate.cell.sequential:
+        return "Q", ["D"]
+    if gate.cell.family == "mux":
+        return "Z", ["S", "A", "B"]
+    letters = []
+    for i in range(len(gate.inputs)):
+        # A, B, C, ... skipping the output letters entirely (we never need
+        # more than 26 - small fanins in mapped netlists).
+        letters.append(chr(ord("A") + i))
+    return "Z", letters
+
+
+def _sized_cell_name(gate) -> str:
+    """NAND with 3 inputs is written ``NAND3``, matching mapped netlists."""
+    if gate.cell.family in ("and", "or", "xor") and len(gate.inputs) >= 2:
+        return f"{gate.cell.name}{len(gate.inputs)}"
+    return gate.cell.name
+
+
+def write_verilog(netlist: Netlist) -> str:
+    """Serialize a netlist to structural Verilog (named connections).
+
+    Gate instantiations are written in file order so a parse/write
+    round-trip preserves the adjacency structure the grouping stage uses.
+    """
+    ports = list(netlist.primary_inputs) + [
+        p for p in netlist.primary_outputs if p not in netlist.primary_inputs
+    ]
+    lines = [f"module {netlist.name} ({', '.join(ports)});"]
+    for net in netlist.primary_inputs:
+        lines.append(f"  input {net};")
+    for net in netlist.primary_outputs:
+        lines.append(f"  output {net};")
+    internal = sorted(
+        net
+        for net in netlist.nets()
+        if net not in netlist.primary_inputs
+        and net not in netlist.primary_outputs
+    )
+    for net in internal:
+        lines.append(f"  wire {net};")
+    for gate in netlist.gates_in_file_order():
+        out_pin, in_pins = _pin_names(gate)
+        conns = [f".{out_pin}({gate.output})"]
+        conns.extend(
+            f".{pin}({net})" for pin, net in zip(in_pins, gate.inputs)
+        )
+        lines.append(
+            f"  {_sized_cell_name(gate)} {gate.name} ({', '.join(conns)});"
+        )
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,66 @@
+"""Synthesis substrate: RTL IR, synthesis flow, and benchmark designs.
+
+Stands in for the VHDL sources and commercial synthesis flow behind the
+ITC99 gate-level netlists: :mod:`rtl` (the word-level IR), :mod:`lower`
+(elaboration), :mod:`optimize` (logic optimization), :mod:`mapping`
+(technology mapping), :mod:`order` (netlist emission), :mod:`flatten`
+(hierarchy inlining), :mod:`flow` (the end-to-end pipeline),
+:mod:`trojan` (the adversary), and :mod:`designs` (the 12 Table 1
+benchmarks).
+"""
+
+from .anonymize import AnonymizedNetlist, anonymize
+from .flatten import inline_instance
+from .flow import SynthesisOptions, synthesize
+from .lower import Lowering, lower
+from .mapping import (
+    absorb_inverters,
+    decompose_wide_gates,
+    flatten_associative,
+    map_muxes,
+    tech_map,
+)
+from .optimize import (
+    cleanup_buffers,
+    cleanup_double_inverters,
+    fold_constants,
+    optimize,
+    simplify_duplicate_inputs,
+    simplify_mux_constants,
+    strash,
+)
+from .order import order_for_emission, register_groups
+from .scan import ScanSpec, insert_scan_chain
+from .rtl import (
+    Binary,
+    Compare,
+    Concat,
+    Const,
+    Expr,
+    InputRef,
+    Module,
+    Mux,
+    Reduce,
+    RegRef,
+    Register,
+    RtlError,
+    Slice,
+    Unary,
+)
+from .trojan import TrojanSpec, insert_trojan
+
+__all__ = [
+    "AnonymizedNetlist", "anonymize",
+    "inline_instance",
+    "SynthesisOptions", "synthesize",
+    "Lowering", "lower",
+    "absorb_inverters", "decompose_wide_gates", "flatten_associative",
+    "map_muxes", "tech_map",
+    "cleanup_buffers", "cleanup_double_inverters", "fold_constants",
+    "optimize", "simplify_duplicate_inputs", "simplify_mux_constants", "strash",
+    "order_for_emission", "register_groups",
+    "Binary", "Compare", "Concat", "Const", "Expr", "InputRef", "Module",
+    "Mux", "Reduce", "RegRef", "Register", "RtlError", "Slice", "Unary",
+    "ScanSpec", "insert_scan_chain",
+    "TrojanSpec", "insert_trojan",
+]

@@ -1,0 +1,52 @@
+"""The Table 1 benchmark suite: ITC99-like designs b03–b18.
+
+``BENCHMARKS`` maps each benchmark name to a zero-argument builder
+returning a synthesized, flat, technology-mapped :class:`Netlist` with
+register names preserved (the golden-reference convention).  Builders are
+deterministic: the same name always yields the same netlist.
+"""
+
+from typing import Callable, Dict
+
+from ...netlist.netlist import Netlist
+from . import b03, b04, b05, b07, b08, b11, b12, b13, b14, b15, b17, b18
+from .common import (
+    adder_word,
+    alternating_word,
+    concat_word,
+    crossed_word,
+    data_word,
+    mask_select,
+    replicate,
+    selected_word,
+    shift_word,
+    status_word,
+)
+from .compose import compose, glue_module
+from .excluded import EXCLUDED
+from .wordmix import CoreProfile, WordSpec, build_core
+
+#: Benchmark name -> netlist builder, in Table 1 row order.
+BENCHMARKS: Dict[str, Callable[[], Netlist]] = {
+    "b03": b03.build,
+    "b04": b04.build,
+    "b05": b05.build,
+    "b07": b07.build,
+    "b08": b08.build,
+    "b11": b11.build,
+    "b12": b12.build,
+    "b13": b13.build,
+    "b14": b14.build,
+    "b15": b15.build,
+    "b17": b17.build,
+    "b18": b18.build,
+}
+
+__all__ = [
+    "BENCHMARKS", "EXCLUDED",
+    "CoreProfile", "WordSpec", "build_core",
+    "compose", "glue_module",
+    "adder_word", "alternating_word", "concat_word", "crossed_word",
+    "data_word", "mask_select", "replicate", "selected_word", "shift_word",
+    "status_word",
+]

@@ -1,0 +1,85 @@
+"""b03 — resource arbiter (ITC99).
+
+The real b03 arbitrates four requesters over a shared resource; its word
+inventory (7 reference words, ~30 flip-flops, average width ~3) is
+dominated by small grant/code registers.  Composition used here:
+
+* 5 regime-A words (request latches and grant codes) — full by both,
+* 1 regime-B word — the paper's Figure 1 word: a 3-bit code register
+  selected among CODA0/CODA1/RU sources, healed by control signals,
+* 1 regime-C status word (FSM flags) — found by neither,
+* 8 single-bit bookkeeping registers (outside the reference words).
+"""
+
+from __future__ import annotations
+
+from ...netlist.netlist import Netlist
+from ..flow import synthesize
+from ..rtl import Concat, Const, Module, Mux
+from .common import data_word, selected_word, status_word
+
+__all__ = ["build"]
+
+
+def build() -> Netlist:
+    m = Module("b03", reset_input="reset")
+    req = [m.input(f"request{i}") for i in range(4)]
+    din = m.input("datain", 4)
+    ena = m.input("ena_count")
+
+    # Shared arbitration conditions (built once; RTL-level CSE shares the
+    # gates, so their outputs become the common control cones).
+    grant_any = (req[0] | req[1]) | (req[2] | req[3])
+    busy = m.input("busy")
+    sel_code = grant_any & ~busy
+    sel_alt = req[0] & req[1]
+
+    # Regime A: request latches and grant-code registers.
+    data_word(m, "fu", 4, grant_any, din)
+    data_word(m, "codao", 3, sel_code, din.slice(0, 2))
+    data_word(m, "codai", 3, sel_alt, din.slice(1, 3))
+    data_word(m, "ru2", 3, busy, din.slice(0, 2))
+    data_word(m, "ru3", 3, ena, din.slice(1, 3))
+
+    # Regime B (the Figure 1 word): 3-bit code selected among three
+    # sources, one of which zero-extends a 2-bit field.
+    coda = selected_word(
+        m,
+        "coda_out",
+        3,
+        sel_code,
+        sel_alt,
+        m.registers["codao"].ref(),
+        m.registers["codai"].ref(),
+        Concat((din.slice(0, 1), Const(0, 1))),
+    )
+
+    # Regime C: FSM-ish status word with heterogeneous bits.
+    fu = m.registers["fu"].ref()
+    status_word(
+        m,
+        "stato",
+        [
+            (req[0] & busy) | (fu.bit(0) & ~req[1]),
+            fu.bit(1) ^ (req[2] | busy),
+            ~(fu.bit(2) & grant_any),
+        ],
+    )
+
+    # Single-bit bookkeeping registers (not reference words).
+    for i in range(4):
+        flag = m.register(f"req_latch{i}", 1)
+        flag.next = req[i] & ~busy
+    toggle = m.register("phase", 1, reset=0)
+    toggle.next = ~toggle.ref()
+    armed = m.register("armed", 1, reset=0)
+    armed.next = (armed.ref() | grant_any) & ~busy
+    over = m.register("overflow", 1)
+    over.next = m.registers["fu"].ref().all()
+    idle = m.register("idle", 1)
+    idle.next = ~grant_any
+
+    m.output("grant", coda.ref())
+    m.output("stato_out", m.registers["stato"].ref())
+    m.output("busy_out", armed.ref() & toggle.ref())
+    return synthesize(m)

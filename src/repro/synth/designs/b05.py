@@ -1,0 +1,76 @@
+"""b05 — elaborate the contents of a memory (ITC99).
+
+b05 is logic-heavy and register-light: Table 1 lists 927 gates against
+only 34 flip-flops, 5 reference words of average width 6.2, and *zero*
+control signals found — Base and Ours behave identically (80% full, one
+word not found, no partials).
+
+Composition: 4 regime-A words, 1 regime-C word, 3 single-bit registers,
+and a deep combinational "memory elaboration" datapath (chained adders,
+comparators and parity trees over the input bus) that supplies the gate
+count without adding words.
+"""
+
+from __future__ import annotations
+
+from ...netlist.netlist import Netlist
+from ..flow import synthesize
+from ..rtl import Concat, Const, Module, Mux
+from .common import data_word, status_word
+
+__all__ = ["build"]
+
+
+def build() -> Netlist:
+    m = Module("b05", reset_input="reset")
+    bus = m.input("membus", 16)
+    addr = m.input("addr", 8)
+    fetch = m.input("fetch")
+    step = m.input("step")
+
+    # Deep combinational elaboration network (the bulk of b05's gates).
+    acc = bus
+    rot = addr
+    for round_index in range(10):
+        mixed = acc + Concat((rot, rot))
+        acc = mixed ^ Concat((acc.slice(8, 15), acc.slice(0, 7)))
+        rot = (rot + Const(round_index * 2 + 1, 8)) ^ addr
+    signature = acc
+
+    hit = addr.eq(signature.slice(0, 7))
+    over = signature.lt(bus)
+
+    # Regime A words.  Sources are sliced above the adder's low carry bits:
+    # bits 0-2 of a ripple sum have per-bit carry shapes that would split
+    # the words (that asymmetry is deliberately used in the regime-D words
+    # of other benchmarks, but b05's words are all-or-nothing in Table 1).
+    data_word(m, "sign_low", 7, fetch, bus.slice(0, 6) ^ signature.slice(8, 14))
+    data_word(m, "sign_high", 7, step, signature.slice(8, 14))
+    data_word(m, "best_addr", 7, hit, Concat((addr.slice(0, 6),)))
+    data_word(m, "window", 6, over, bus.slice(4, 9))
+
+    # Regime C status word.
+    sl = m.registers["sign_low"].ref()
+    status_word(
+        m,
+        "mem_state",
+        [
+            hit & ~over,
+            sl.bit(0) | (fetch & sl.bit(3)),
+            (sl.bit(1) ^ step) & sl.bit(5),
+            ~(sl.bit(2) | hit),
+        ],
+    )
+
+    # Single-bit registers.
+    seen = m.register("seen", 1, reset=0)
+    seen.next = seen.ref() | hit
+    parity = m.register("par", 1)
+    parity.next = signature.parity()
+    run = m.register("running", 1, reset=0)
+    run.next = (run.ref() | fetch) & ~step
+
+    m.output("sig_out", signature)
+    m.output("state_out", m.registers["mem_state"].ref())
+    m.output("hit_out", seen.ref())
+    return synthesize(m)

@@ -1,0 +1,69 @@
+"""b07 — count points on a straight line (ITC99).
+
+Table 1 target: 7 reference words, 49 flip-flops, average width 7.0, and
+the rare case where Base and Ours score identically (57.1% full, two
+partials at fragmentation 0.33, one not found) while Ours still reports a
+control signal that bought nothing.
+
+Composition: 4 regime-A words, 2 regime-D concat words (two unrelated
+halves each — fragmentation 2/6 = 0.33), 1 regime-C word.
+"""
+
+from __future__ import annotations
+
+from ...netlist.netlist import Netlist
+from ..flow import synthesize
+from ..rtl import Concat, Const, Module, Mux
+from .common import concat_word, data_word, status_word
+
+__all__ = ["build"]
+
+
+def build() -> Netlist:
+    m = Module("b07", reset_input="reset")
+    x = m.input("x_coord", 8)
+    y = m.input("y_coord", 8)
+    start = m.input("start")
+    advance = m.input("advance")
+
+    on_line = x.eq(y)
+    beyond = y.lt(x)
+
+    # Regime A: coordinate capture and accumulation staging.
+    data_word(m, "cnt_x", 8, start, x)
+    data_word(m, "cnt_y", 8, advance, y)
+    data_word(m, "mark_x", 8, on_line, x)
+    data_word(m, "mark_y", 8, beyond, y)
+
+    # Regime D: packed result words — two unrelated 3-bit halves each.
+    concat_word(
+        m,
+        "pack_lo",
+        low=(x.slice(0, 2) & y.slice(0, 2)),
+        high=(x.slice(3, 5) | y.slice(3, 5)),
+    )
+    concat_word(
+        m,
+        "pack_hi",
+        low=(x.slice(2, 4) ^ y.slice(2, 4)),
+        high=(x.slice(5, 7) & ~y.slice(5, 7)),
+    )
+
+    # Regime C: line-tracking state.
+    cx = m.registers["cnt_x"].ref()
+    status_word(
+        m,
+        "tracker",
+        [
+            on_line & ~beyond,
+            cx.bit(0) | (start & cx.bit(4)),
+            (cx.bit(1) ^ advance) & beyond,
+            ~(cx.bit(2) | on_line),
+            cx.bit(3) ^ cx.bit(5) ^ start,
+        ],
+    )
+
+    m.output("count_out", m.registers["cnt_x"].ref() + m.registers["cnt_y"].ref())
+    m.output("packed", m.registers["pack_lo"].ref())
+    m.output("track_out", m.registers["tracker"].ref())
+    return synthesize(m)

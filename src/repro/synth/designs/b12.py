@@ -1,0 +1,110 @@
+"""b12 — 1-player game: guess a sequence of button presses (ITC99).
+
+The richest small benchmark: Table 1 lists 121 flip-flops forming 46
+reference words of average width ~2.5 — a sea of small registers (sound,
+display, counters, scratch), which is exactly what the game's VHDL has.
+
+Target behaviour: Base 82.6% full / frag 0.50 / 8.7% not found; Ours
+91.3% / 0.30 / 4.3% with 7 control signals.
+
+Composition: 38 regime-A words (2-3 bits), 2 regime-B selected words,
+2 regime-B alternating words (not even partially found by Base, fully
+recovered by Ours — the "each control signal uncovers one word" cases),
+2 regime-D concat words, 2 regime-C words, plus single-bit flags.
+"""
+
+from __future__ import annotations
+
+from ...netlist.netlist import Netlist
+from ..flow import synthesize
+from ..rtl import Concat, Const, Module, Mux
+from .common import (
+    alternating_word,
+    concat_word,
+    data_word,
+    selected_word,
+    status_word,
+)
+
+__all__ = ["build"]
+
+
+def build() -> Netlist:
+    m = Module("b12", reset_input="reset")
+    buttons = m.input("buttons", 4)
+    wheel = m.input("wheel", 8)
+    tick = m.input("tick")
+    play = m.input("play")
+
+    pressed = buttons.any()
+    turn = wheel.slice(0, 3).eq(buttons)
+    timeout = wheel.lt(Concat((buttons, buttons)))
+
+    # 38 regime-A words: the game's scratch/sound/display registers.
+    # Conditions rotate through the shared condition pool so their select
+    # cones are shared (and become common control signals after strash).
+    conditions = [pressed, turn, timeout, tick & play, pressed & ~turn]
+    for i in range(38):
+        width = 2 + (i % 2)  # 2- and 3-bit words, average ~2.5
+        src_lo = (i * 2) % 6
+        src = wheel.slice(src_lo, src_lo + width - 1)
+        data_word(m, f"scratch{i:02d}", width, conditions[i % 5], src)
+
+    # 2 regime-B selected words (Base partial, Ours full).
+    selected_word(
+        m, "note", 4, pressed, turn,
+        wheel.slice(0, 3), wheel.slice(4, 7),
+        Concat((buttons.slice(0, 1), Const(0, 2))),
+    )
+    selected_word(
+        m, "octave", 4, timeout, tick & play,
+        wheel.slice(2, 5), buttons,
+        Concat((Const(0, 2), wheel.slice(6, 7))),
+    )
+
+    # 2 regime-B alternating words (Base not-found, Ours full).
+    alternating_word(
+        m, "column", 3, turn, pressed,
+        wheel.slice(1, 3), wheel.slice(5, 7), pattern=0b010,
+    )
+    alternating_word(
+        m, "row", 3, timeout, turn,
+        buttons.slice(0, 2), wheel.slice(3, 5), pattern=0b101,
+    )
+
+    # 2 regime-D concat words (partial for both; 2 fragments on 7 bits).
+    concat_word(
+        m, "mix_a",
+        low=(wheel.slice(0, 2) & buttons.slice(0, 2)),
+        high=(wheel.slice(3, 6) ^ buttons),
+    )
+    concat_word(
+        m, "mix_b",
+        low=(wheel.slice(1, 3) | buttons.slice(1, 3)),
+        high=(wheel.slice(4, 7) & ~buttons),
+    )
+
+    # 2 regime-C state words.
+    s0 = m.registers["scratch00"].ref()
+    status_word(m, "game_fsm", [
+        (pressed & play) | s0.bit(0),
+        s0.bit(1) ^ (turn | tick),
+    ])
+    s1 = m.registers["scratch01"].ref()
+    status_word(m, "sound_fsm", [
+        ~(s1.bit(0) & timeout),
+        (s1.bit(1) | pressed) & ~turn,
+        s1.bit(2) ^ play,
+    ])
+
+    # Single-bit flags to reach the flip-flop budget.
+    for i in range(6):
+        flag = m.register(f"flag{i}", 1)
+        flag.next = conditions[i % 5] & buttons.bit(i % 4)
+
+    m.output("speaker", m.registers["note"].ref())
+    m.output("display", Concat((m.registers["column"].ref(),
+                                m.registers["row"].ref())))
+    m.output("mix_out", m.registers["mix_a"].ref() ^ m.registers["mix_b"].ref())
+    m.output("state_out", m.registers["game_fsm"].ref())
+    return synthesize(m)

@@ -1,0 +1,97 @@
+"""b13 — interface to meteo sensors (ITC99).
+
+A control-heavy interface: Table 1 shows both techniques struggling
+(Base 28.6% full, fragmentation 0.75, 28.6% not found; Ours 42.9% /
+0.60 / 14.3% with 2 control signals).
+
+Composition: 2 regime-A words, 1 regime-B selected word (Base partial →
+Ours full), 2 regime-D words fragmenting heavily for both, 1 regime-E
+word — an alternating word with one constant-folded bit, which Base
+cannot group at all but Ours partially heals (not-found → partial, the
+fragmentation-improvement-without-full-recovery case), 1 regime-C word,
+plus single-bit handshake registers.
+"""
+
+from __future__ import annotations
+
+from ...netlist.netlist import Netlist
+from ..flow import synthesize
+from ..rtl import Concat, Const, Module, Mux
+from .common import (
+    alternating_word,
+    concat_word,
+    data_word,
+    mask_select,
+    selected_word,
+    status_word,
+)
+
+__all__ = ["build"]
+
+
+def build() -> Netlist:
+    m = Module("b13", reset_input="reset")
+    sensor = m.input("sensor", 8)
+    command = m.input("command", 4)
+    strobe = m.input("strobe")
+    send = m.input("send")
+
+    addressed = command.eq(sensor.slice(0, 3))
+    overrun = sensor.lt(Concat((command, command)))
+
+    # Regime A.
+    data_word(m, "sample", 6, strobe, sensor.slice(0, 5))
+    data_word(m, "backup", 6, send, sensor.slice(2, 7))
+
+    # Regime B: Base partial, Ours full via one control signal.
+    selected_word(
+        m, "out_word", 4, addressed, strobe & send,
+        sensor.slice(0, 3), sensor.slice(4, 7),
+        Concat((command.slice(0, 1), Const(0, 2))),
+    )
+
+    # Regime D: packed words; 3 fragments on 4 bits each (frag 0.75).
+    concat_word(m, "shift_cnt", parts=(
+        sensor.slice(0, 0) & command.slice(0, 0),
+        sensor.slice(1, 2) ^ command.slice(1, 2),
+        sensor.slice(3, 3) | command.slice(3, 3),
+    ))
+    concat_word(m, "tx_cnt", parts=(
+        sensor.slice(4, 4) ^ command.slice(0, 0),
+        sensor.slice(5, 6) & command.slice(1, 2),
+        sensor.slice(7, 7) | command.slice(3, 3),
+    ))
+
+    # Regime E: alternating word with bit 2's outer arm constant-folded.
+    # Base groups nothing (adjacent bits fold to different shapes); Ours
+    # heals the two runs either side of the odd bit — not-found becomes
+    # partial (3 fragments over 5 bits = 0.6).
+    x_arm = mask_select(0b00100, 5, Const(0, 5), sensor.slice(0, 4))
+    alternating_word(
+        m, "mux_reg", 5, overrun, addressed,
+        x_arm, sensor.slice(3, 7), pattern=0b01010,
+    )
+
+    # Regime C.
+    sm = m.registers["sample"].ref()
+    status_word(m, "link_fsm", [
+        (addressed & strobe) | sm.bit(0),
+        sm.bit(1) ^ (send | overrun),
+        ~(sm.bit(2) & addressed),
+        (sm.bit(3) | strobe) & ~send,
+        sm.bit(4) ^ sm.bit(5) ^ overrun,
+    ])
+
+    # Single-bit handshake registers.
+    for i, cond in enumerate(
+        [strobe, send, addressed, overrun, strobe & send,
+         addressed | overrun, strobe ^ send, ~addressed]
+    ):
+        reg = m.register(f"hand{i}", 1)
+        reg.next = cond & sensor.bit(i)
+
+    mr = m.registers["mux_reg"].ref()
+    m.output("tx_data", m.registers["out_word"].ref())
+    m.output("mux_out", mr)
+    m.output("fsm_out", m.registers["link_fsm"].ref())
+    return synthesize(m)

@@ -1,0 +1,34 @@
+"""b14 — Viper processor subset (ITC99).
+
+Table 1: ~10K gates, 245 flip-flops, 8 very wide reference words (average
+width 30.1).  Base finds half of them (50.0%, fragmentation 0.13 — wide
+words split into a few pieces); Ours adds one word (62.5%) with 4 control
+signals and nothing is completely missed by either technique.
+
+Profile: 4 regime-A data words, 1 regime-B selected word, 3 regime-D
+ripple accumulators whose carry chains fragment identically for both.
+"""
+
+from __future__ import annotations
+
+from ...netlist.netlist import Netlist
+from .wordmix import CoreProfile, WordSpec, build_core
+
+__all__ = ["build", "PROFILE"]
+
+PROFILE = CoreProfile(
+    name="b14",
+    words=[
+        WordSpec("data", 32, 3),
+        WordSpec("data", 28, 1),
+        WordSpec("selected", 32, 1),
+        WordSpec("adder", 29, 3),
+    ],
+    single_registers=2,
+    datapath_rounds=44,
+    bus_width=32,
+)
+
+
+def build() -> Netlist:
+    return build_core(PROFILE)

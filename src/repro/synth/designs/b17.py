@@ -1,0 +1,32 @@
+"""b17 — three b15-class cores plus glue (ITC99).
+
+The real b17 instantiates three copies of b15 behind a top-level wrapper;
+Table 1 reports 98 reference words (3 × 32 + glue), ~31K gates, 1415
+flip-flops, with scores a few points below standalone b15 (the composed
+netlist carries extra sharing and more unrecoverable control words).
+
+Reproduced as: two full b15 cores, one *degraded* b15 core (its
+alternating words replaced by status/adder words — genuinely
+unrecoverable), and the standard glue words.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ...netlist.netlist import Netlist
+from .b15 import DEGRADED_PROFILE, PROFILE
+from .compose import compose
+from .wordmix import build_core
+
+__all__ = ["build"]
+
+
+def build() -> Netlist:
+    core_a = build_core(dataclasses.replace(PROFILE, name="b15a"))
+    core_b = build_core(dataclasses.replace(PROFILE, name="b15b"))
+    core_c = build_core(dataclasses.replace(DEGRADED_PROFILE, name="b15c"))
+    return compose(
+        "b17",
+        [("core1", core_a), ("core2", core_b), ("core3", core_c)],
+    )

@@ -1,0 +1,60 @@
+"""b18 — two b14-class and two b17-class subsystems (ITC99).
+
+The largest Table 1 benchmark: 212 reference words (2 × 8 + 2 × 98),
+>100K gates, 3320 flip-flops — and the weakest identification scores of
+the suite (Base 52.8% full, Ours 58.5% with 36 control signals): at this
+scale most of the word population comes from heavily-degraded cores.
+
+Reproduced as two b14 cores plus two b17-class subsystems built from
+*degraded* b15 profiles (status and adder words replacing the recoverable
+ones), matching the paper's observation that the composed giants lose
+proportionally more words than their constituents.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ...netlist.netlist import Netlist
+from .b14 import PROFILE as B14_PROFILE
+from .b15 import DEGRADED_PROFILE
+from .compose import compose
+from .wordmix import CoreProfile, WordSpec, build_core
+
+__all__ = ["build"]
+
+#: Heavily degraded b15-class profile for the b18 subsystems.
+DEEP_DEGRADED_PROFILE = CoreProfile(
+    name="b15dd",
+    words=[
+        WordSpec("data", 14, 12),
+        WordSpec("selected", 14, 2),
+        WordSpec("status", 12, 4),
+        WordSpec("concat", 13, 8, fields=2),
+        WordSpec("adder", 14, 6),
+    ],
+    single_registers=11,
+    datapath_rounds=32,
+    bus_width=32,
+)
+
+
+def _b17_like(name: str) -> Netlist:
+    cores = [
+        ("core1", build_core(dataclasses.replace(DEGRADED_PROFILE, name=f"{name}a"))),
+        ("core2", build_core(dataclasses.replace(DEGRADED_PROFILE, name=f"{name}b"))),
+        ("core3", build_core(dataclasses.replace(DEEP_DEGRADED_PROFILE, name=f"{name}c"))),
+    ]
+    return compose(name, cores)
+
+
+def build() -> Netlist:
+    cpu_a = build_core(dataclasses.replace(B14_PROFILE, name="b14a"))
+    cpu_b = build_core(dataclasses.replace(B14_PROFILE, name="b14b"))
+    soc_a = _b17_like("b17a")
+    soc_b = _b17_like("b17b")
+    return compose(
+        "b18",
+        [("cpu1", cpu_a), ("cpu2", cpu_b), ("sys1", soc_a), ("sys2", soc_b)],
+        with_glue=False,
+    )

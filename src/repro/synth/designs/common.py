@@ -1,0 +1,259 @@
+"""Reusable register-transfer idioms for the benchmark designs.
+
+Each helper builds one register whose synthesized structure lands in a
+known *regime* with respect to the two identification techniques.  The
+Table 1 benchmarks are compositions of these idioms, mixed to match each
+ITC99 circuit's published behaviour:
+
+=================  ==========================  =============================
+helper             synthesized structure       identification behaviour
+=================  ==========================  =============================
+data_word          load-enable mux             full by Base and Ours ("A")
+counter_word       enable mux + ripple +1      Base partial, Ours full ("B")
+selected_word      3-way mux, const-bit arm    Base partial, Ours full ("B")
+alternating_word   3-way mux, alternating      Base not-found, Ours full
+                   const arm                   ("B-alt")
+crossed_word       crossed 2-guard gating      Base partial; Ours full but
+                                               only via a *pair* assignment
+adder_word         naked ripple adder          partial for both ("D")
+concat_word        two unrelated halves        partial for both ("D")
+status_word        heterogeneous per-bit       not found by either ("C")
+                   logic
+shift_word         FF-to-FF wiring             not found by either ("C")
+=================  ==========================  =============================
+
+Why each regime arises is documented on the helper.  All helpers take the
+module plus already-built operand expressions so designs stay word-level.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..rtl import (
+    Binary,
+    Compare,
+    Concat,
+    Const,
+    Expr,
+    Module,
+    Mux,
+    Register,
+    RtlError,
+)
+
+__all__ = [
+    "replicate",
+    "mask_select",
+    "data_word",
+    "counter_word",
+    "selected_word",
+    "alternating_word",
+    "crossed_word",
+    "adder_word",
+    "concat_word",
+    "status_word",
+    "shift_word",
+]
+
+
+def replicate(bit: Expr, width: int) -> Expr:
+    """Broadcast a 1-bit expression across ``width`` bits."""
+    if bit.width != 1:
+        raise RtlError("replicate needs a 1-bit operand")
+    return Concat(tuple(bit for _ in range(width)))
+
+
+def mask_select(mask: int, width: int, when_one: Expr, when_zero: Expr) -> Expr:
+    """Per-bit constant select: bit i comes from ``when_one`` iff mask bit i.
+
+    ``(mask & a) | (~mask & b)`` with a constant mask — constant folding
+    resolves each bit at synthesis time, so different bits of the register
+    get structurally different sources.  This is the clean RTL idiom for
+    injecting per-bit asymmetry (the real ITC99 equivalents are constant
+    fields, width extensions, and don't-care optimizations).
+    """
+    m = Const(mask & ((1 << width) - 1), width)
+    return (m & when_one) | (~m & when_zero)
+
+
+def data_word(m: Module, name: str, width: int, en: Expr, src: Expr) -> Register:
+    """Regime A: ``r <= en ? src : r``.
+
+    Every bit synthesizes to the same mux NAND tree over (src bit, own
+    output); both techniques fully match all bits.
+    """
+    r = m.register(name, width)
+    r.next = Mux(en, src, r.ref())
+    return r
+
+
+def counter_word(
+    m: Module,
+    name: str,
+    width: int,
+    en: Expr,
+    step: int = 1,
+    reset: Optional[int] = None,
+) -> Register:
+    """Regime B: ``r <= en ? r + step : r``.
+
+    The hold arm is identical across bits; the increment arm's carry logic
+    differs per bit, so Base fragments the word.  The increment arm is
+    gated by the (shared) enable select — assigning it its controlling
+    value removes the carry logic and Ours finds the full word.
+    """
+    r = m.register(name, width, reset=reset)
+    r.next = Mux(en, r.ref() + Const(step, width), r.ref())
+    return r
+
+
+def selected_word(
+    m: Module,
+    name: str,
+    width: int,
+    sel1: Expr,
+    sel2: Expr,
+    x: Expr,
+    y: Expr,
+    z: Expr,
+) -> Register:
+    """Regime B: 3-way selected register, one arm with per-bit constants.
+
+    ``r <= sel1 ? x : (sel2 ? y : z)``.  Pass a ``z`` containing constant
+    bits (e.g. a zero-extended narrower word): those bits' inner mux folds
+    into AND/OR forms, breaking full similarity.  The dissimilar subtrees
+    all hang off the shared outer select — one controlling-value
+    assignment removes them and Ours recovers the full word.
+    """
+    r = m.register(name, width)
+    r.next = Mux(sel1, x, Mux(sel2, y, z))
+    return r
+
+
+def alternating_word(
+    m: Module,
+    name: str,
+    width: int,
+    sel1: Expr,
+    sel2: Expr,
+    x: Expr,
+    y: Expr,
+    pattern: int = 0b0101010101010101,
+) -> Register:
+    """Regime B-alt: like :func:`selected_word` but the third arm is a
+    bit-alternating constant, so *adjacent* bits fold to different shapes
+    (AND vs OR forms) and Base groups nothing at all — the word is
+    not-found by Base yet fully recovered by Ours (the b15 scenario, where
+    each control signal "was useful and capable of uncovering one complete
+    word").
+    """
+    r = m.register(name, width)
+    z = Const(pattern & ((1 << width) - 1), width)
+    r.next = Mux(sel1, x, Mux(sel2, y, z))
+    return r
+
+
+def crossed_word(
+    m: Module,
+    name: str,
+    width: int,
+    e1: Expr,
+    e2: Expr,
+    g1: Expr,
+    g2: Expr,
+    u: Expr,
+    v: Expr,
+    t: Expr,
+    k: Expr,
+    mask: int = 0b11110000,
+) -> Register:
+    """Regime B-pair: the Figure 1 structure needing *two* assignments.
+
+    Every bit is ``~(p & q & s)`` with similar subtrees ``p = ~(g1 & u_i)``
+    and ``q = ~(g2 & v_i)`` (the blue circles of Figure 1, guarded by
+    their own controls g1/g2); the third subtree ``s`` crosses a second
+    signal pair per the constant mask — ``~(e1 & ~(e2 & t_i))`` on one
+    side and the wider ``~(e2 & ~(e1 & t_i) & k_i)`` on the other (the
+    extra ``k_i`` keeps the variants distinguishable by shape: hash keys
+    anonymize leaf nets, so a pure guard swap would look identical).
+
+    ``e1 = 0`` kills only the first variant, ``e2 = 0`` only the second;
+    the *pair* (e1=0, e2=0) removes both without disturbing p and q,
+    exercising the paper's two-signal simultaneous assignment.  g1/g2 must
+    be distinct from e1/e2 or the pair assignment collapses the similar
+    subtrees too (the same reason the paper never assigns control signals
+    appearing in matching subtrees).
+    """
+    e1w = replicate(e1, width)
+    e2w = replicate(e2, width)
+    p = ~(replicate(g1, width) & u)
+    q = ~(replicate(g2, width) & v)
+    s_one = ~(e1w & ~(e2w & t))
+    s_zero = ~(e2w & ~(e1w & t) & k)
+    s = mask_select(mask, width, s_one, s_zero)
+    r = m.register(name, width)
+    r.next = ~(p & q & s)
+    return r
+
+
+def adder_word(m: Module, name: str, width: int, addend: Expr) -> Register:
+    """Regime D: ``r <= r + addend`` with no enable.
+
+    Sum-bit roots are uniform XORs but the carry subtrees differ per bit
+    near the LSB (and truncate to identical shapes beyond the cone depth),
+    so both techniques find the word only partially — and there is no
+    shared control signal in the dissimilar carry logic to exploit.
+    """
+    r = m.register(name, width)
+    r.next = r.ref() + addend
+    return r
+
+
+def concat_word(
+    m: Module,
+    name: str,
+    low: Optional[Expr] = None,
+    high: Optional[Expr] = None,
+    parts: Optional[Sequence[Expr]] = None,
+) -> Register:
+    """Regime D: a register whose fields come from unrelated logic.
+
+    Pass either ``low``/``high`` or an explicit ``parts`` sequence (LSB
+    field first).  Both techniques recover each field separately, so the
+    fragmentation is ``len(parts) / width`` — give adjacent fields
+    different root operations (AND vs XOR vs OR) or the runs merge.
+    """
+    if parts is None:
+        if low is None or high is None:
+            raise RtlError("concat_word needs low+high or parts")
+        parts = (low, high)
+    r = m.register(name, sum(p.width for p in parts))
+    r.next = Concat(tuple(parts))
+    return r
+
+
+def status_word(m: Module, name: str, bits: Sequence[Expr]) -> Register:
+    """Regime C: a status/state register with heterogeneous per-bit logic.
+
+    Pass one 1-bit expression per bit, each structurally different.  "Words
+    that are not found are state or other types of control registers", as
+    the paper observes.
+    """
+    for bit in bits:
+        if bit.width != 1:
+            raise RtlError("status_word bits must be 1-bit expressions")
+    r = m.register(name, len(bits))
+    r.next = Concat(tuple(bits))
+    return r
+
+
+def shift_word(m: Module, name: str, width: int, serial_in: Expr) -> Register:
+    """Regime C: shift register — D pins wired straight to neighbours' Q.
+
+    With no combinational gate driving the D nets there is nothing for the
+    file-adjacency grouping to group; neither technique finds the word.
+    """
+    r = m.register(name, width)
+    r.next = Concat((r.ref().slice(1, width - 1), serial_in))
+    return r

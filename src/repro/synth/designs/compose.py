@@ -1,0 +1,69 @@
+"""Composition of pre-synthesized cores into the large SoC benchmarks.
+
+The real b17 instantiates three b15-class cores and b18 stacks b14- and
+b17-class subsystems; synthesis then flattens the hierarchy, prefixing
+instance nets while preserving register names.  :func:`compose` reproduces
+that: each core is synthesized standalone, inlined under its instance
+prefix (so ``count_reg_3`` in core ``c1`` becomes ``c1_count_reg_3``), and
+a small glue module supplies top-level supervision words.
+
+Cores deliberately do *not* feed word-register data inputs from each
+other's outputs: a cone that crosses a core boundary would change depth
+and break the per-core word structure the profiles were calibrated for.
+They share only the reset and exchange 1-bit handshakes, which is also how
+the ITC99 compositions are stitched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ...netlist.netlist import Netlist
+from ..flatten import inline_instance
+from ..flow import synthesize
+from ..rtl import Module
+from .common import data_word, status_word
+
+__all__ = ["glue_module", "compose"]
+
+
+def glue_module(name: str = "glue") -> Netlist:
+    """Top-level supervision logic: one data word, one status word."""
+    m = Module(name, reset_input="reset")
+    host = m.input("host_bus", 32)
+    irq = m.input("irq", 4)
+    run = m.input("run")
+
+    grant = irq.any() & run
+    data_word(m, "host_latch", 32, grant, host)
+    status_word(m, "irq_state", [
+        (irq.bit(0) & run) | irq.bit(1),
+        irq.bit(2) ^ (run | irq.bit(3)),
+        ~(irq.bit(1) & grant),
+        (irq.bit(3) | run) & ~irq.bit(0),
+    ])
+    for i in range(4):
+        ack = m.register(f"ack{i}", 1)
+        ack.next = irq.bit(i) & grant
+    m.output("host_echo", m.registers["host_latch"].ref())
+    m.output("irq_out", m.registers["irq_state"].ref())
+    return synthesize(m)
+
+
+def compose(
+    name: str, cores: Sequence[Tuple[str, Netlist]], with_glue: bool = True
+) -> Netlist:
+    """Inline ``(prefix, netlist)`` cores plus glue into one flat netlist."""
+    parent = Netlist(name)
+    parent.add_input("reset")
+    all_cores: List[Tuple[str, Netlist]] = list(cores)
+    if with_glue:
+        all_cores.append(("glue", glue_module()))
+    for prefix, core in all_cores:
+        port_map = {}
+        if "reset" in core.primary_inputs:
+            port_map["reset"] = "reset"
+        outputs = inline_instance(parent, core, prefix, port_map)
+        for child_output, parent_net in outputs.items():
+            parent.add_output(parent_net)
+    return parent

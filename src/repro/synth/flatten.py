@@ -1,0 +1,63 @@
+"""Hierarchy flattening: inline pre-synthesized cores into a parent netlist.
+
+The large ITC99 circuits are compositions — b17 instantiates three b15-like
+cores, b18 stacks b14- and b17-class logic.  After synthesis the hierarchy
+is flattened: instance nets get the instance prefix and everything lands in
+one namespace.  Register-name preservation through this step is what makes
+the paper's golden-reference trick work on the big benchmarks (a register
+``count`` in instance ``core1`` survives as ``core1_count_reg_<i>``).
+
+:func:`inline_instance` reproduces exactly that: it copies a child netlist
+into a parent, prefixing gate and net names, wiring child primary inputs to
+parent nets via a port map, and returning where each child output ended up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..netlist.netlist import Netlist, NetlistError
+
+__all__ = ["inline_instance"]
+
+
+def inline_instance(
+    parent: Netlist,
+    child: Netlist,
+    prefix: str,
+    port_map: Mapping[str, str],
+) -> Dict[str, str]:
+    """Copy ``child`` into ``parent`` under ``prefix``.
+
+    ``port_map`` maps child primary-input names to existing parent nets;
+    unmapped child inputs become new parent primary inputs named
+    ``{prefix}_{input}``.  Child internal nets and gate names are prefixed
+    with ``{prefix}_``.  Child primary *outputs* are not re-declared as
+    parent outputs; the returned dict maps each child output name to its
+    prefixed parent net so the caller can wire or export it.
+    """
+    for port in port_map:
+        if port not in child.primary_inputs:
+            raise NetlistError(
+                f"port {port!r} is not a primary input of {child.name!r}"
+            )
+
+    def net_name(net: str) -> str:
+        if net in child.primary_inputs:
+            mapped = port_map.get(net)
+            if mapped is not None:
+                return mapped
+            return f"{prefix}_{net}"
+        return f"{prefix}_{net}"
+
+    for net in child.primary_inputs:
+        if net not in port_map:
+            parent.add_input(f"{prefix}_{net}")
+    for gate in child.gates_in_file_order():
+        parent.add_gate(
+            f"{prefix}_{gate.name}",
+            gate.cell,
+            [net_name(n) for n in gate.inputs],
+            net_name(gate.output),
+        )
+    return {out: net_name(out) for out in child.primary_outputs}

@@ -1,0 +1,63 @@
+"""The end-to-end synthesis flow: RTL module → mapped, flat netlist.
+
+This stands in for the commercial flow that produced the ITC99 gate-level
+netlists: elaboration (:mod:`lower`), logic optimization
+(:mod:`optimize`), technology mapping (:mod:`mapping`) and the emission
+ordering of the output file (:mod:`order`).  Register names are preserved
+end to end, which the paper's experimental setup depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist.netlist import Netlist
+from ..netlist.validate import validate
+from .lower import lower
+from .mapping import DEFAULT_MAX_ARITY, tech_map
+from .optimize import optimize
+from .order import order_for_emission
+from .rtl import Module
+
+__all__ = ["SynthesisOptions", "synthesize"]
+
+
+@dataclass(frozen=True)
+class SynthesisOptions:
+    """Flow configuration.
+
+    ``optimize_rounds``
+        Fixpoint bound for the optimization pipeline.
+    ``max_arity``
+        Widest library cell emitted by mapping.
+    ``map_technology``
+        Disable to stop after optimization (generic gates, muxes intact) —
+        useful in tests that inspect pre-mapping structure.
+    ``check``
+        Validate the netlist after every phase (cheap; leave on).
+    """
+
+    optimize_rounds: int = 4
+    max_arity: int = DEFAULT_MAX_ARITY
+    map_technology: bool = True
+    check: bool = True
+
+
+def synthesize(
+    module: Module, options: SynthesisOptions = SynthesisOptions()
+) -> Netlist:
+    """Run the full flow on ``module`` and return the emitted netlist."""
+    netlist = lower(module)
+    if options.check:
+        validate(netlist).raise_if_failed()
+    netlist = optimize(netlist, max_rounds=options.optimize_rounds)
+    if options.check:
+        validate(netlist).raise_if_failed()
+    if options.map_technology:
+        netlist = tech_map(netlist, options.max_arity)
+        if options.check:
+            validate(netlist).raise_if_failed()
+    netlist = order_for_emission(netlist)
+    if options.check:
+        validate(netlist).raise_if_failed()
+    return netlist

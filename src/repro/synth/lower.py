@@ -1,0 +1,244 @@
+"""RTL elaboration: bit-blasting word-level expressions into gates.
+
+This is the front half of the synthesis flow.  Expressions are lowered
+structurally — ripple-carry adders and borrow comparators, per-bit 2:1
+muxes with shared selects, balanced reduction trees — mirroring what a
+synthesis tool's generic-logic phase produces before optimization and
+technology mapping.
+
+Lowering shares gates between uses of the same expression *object* (the
+reference-sharing designs naturally exhibit, e.g. one condition guarding
+many registers); structurally identical but separately built expressions
+are merged later by netlist-level structural hashing.  Both effects create
+the *shared control cones* the paper exploits — a condition's logic is
+built once and its output net fans out into every register's select path,
+becoming a discoverable control signal.
+
+Naming: a register ``r`` of width ``w >= 2`` gets flip-flop output nets
+``r_reg_0 .. r_reg_{w-1}`` (single-bit registers get ``r_reg``), the
+convention the paper's golden-reference extraction relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.builder import NetlistBuilder
+from ..netlist.netlist import Netlist
+from .rtl import (
+    Binary,
+    Compare,
+    Concat,
+    Const,
+    Expr,
+    InputRef,
+    Module,
+    Mux,
+    Reduce,
+    RegRef,
+    RtlError,
+    Slice,
+    Unary,
+)
+
+__all__ = ["lower", "Lowering"]
+
+
+def register_bit_nets(name: str, width: int) -> List[str]:
+    """Flip-flop output net names for register ``name``."""
+    if width == 1:
+        return [f"{name}_reg"]
+    return [f"{name}_reg_{i}" for i in range(width)]
+
+
+class Lowering:
+    """One elaboration run; use :func:`lower` unless you need the internals."""
+
+    def __init__(self, module: Module):
+        module.check()
+        self.module = module
+        self.builder = NetlistBuilder(module.name)
+        # Keyed by id(): expressions use identity semantics, and designs
+        # share subexpressions by holding Python references.  The entry
+        # keeps the expr alive so ids cannot be recycled mid-lowering.
+        self._cache: Dict[int, Tuple[Expr, List[str]]] = {}
+        self._const0: Optional[str] = None
+        self._const1: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> Netlist:
+        b = self.builder
+        for name, width in self.module.inputs.items():
+            if width == 1:
+                b.input(name)
+            else:
+                b.input_word(name, width)
+        for reg in self.module.registers.values():
+            d_bits = self.bits(self._effective_next(reg))
+            q_nets = register_bit_nets(reg.name, reg.width)
+            for d_net, q_net in zip(d_bits, q_nets):
+                b.dff(d_net, output=q_net)
+        for name, expr in self.module.outputs.items():
+            bits = self.bits(expr)
+            if len(bits) == 1:
+                b.output(bits[0], name=name)
+            else:
+                for i, bit in enumerate(bits):
+                    b.output(bit, name=f"{name}_{i}")
+        return b.build()
+
+    def _effective_next(self, reg) -> Expr:
+        """Wrap the next-state in the synchronous-reset mux, if any."""
+        if reg.reset is None:
+            return reg.next
+        return Mux(
+            self.module.reset_ref(),
+            Const(reg.reset, reg.width),
+            reg.next,
+        )
+
+    # ------------------------------------------------------------------
+    # expression lowering
+    # ------------------------------------------------------------------
+    def bits(self, expr: Expr) -> List[str]:
+        """Net names (LSB first) carrying ``expr``'s value."""
+        cached = self._cache.get(id(expr))
+        if cached is not None:
+            return cached[1]
+        result = self._lower(expr)
+        if len(result) != expr.width:
+            raise AssertionError(
+                f"lowering width bug: {expr!r} -> {len(result)} bits"
+            )
+        self._cache[id(expr)] = (expr, result)
+        return result
+
+    def _lower(self, expr: Expr) -> List[str]:
+        if isinstance(expr, Const):
+            return [self._const_net(expr.bit_value(i)) for i in range(expr.width)]
+        if isinstance(expr, InputRef):
+            if expr.width == 1:
+                return [expr.name]
+            return [f"{expr.name}_{i}" for i in range(expr.width)]
+        if isinstance(expr, RegRef):
+            return register_bit_nets(expr.name, expr.width)
+        if isinstance(expr, Unary):
+            return [self.builder.inv(bit) for bit in self.bits(expr.operand)]
+        if isinstance(expr, Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, Compare):
+            return self._lower_compare(expr)
+        if isinstance(expr, Mux):
+            sel = self.bits(expr.sel)[0]
+            then_bits = self.bits(expr.then)
+            els_bits = self.bits(expr.els)
+            return [
+                self.builder.mux(sel, e_bit, t_bit)
+                for t_bit, e_bit in zip(then_bits, els_bits)
+            ]
+        if isinstance(expr, Slice):
+            return self.bits(expr.operand)[expr.lo : expr.hi + 1]
+        if isinstance(expr, Concat):
+            bits: List[str] = []
+            for part in expr.parts:
+                bits.extend(self.bits(part))
+            return bits
+        if isinstance(expr, Reduce):
+            return [self._tree(expr.op, self.bits(expr.operand))]
+        raise RtlError(f"cannot lower {expr!r}")
+
+    def _lower_binary(self, expr: Binary) -> List[str]:
+        a = self.bits(expr.left)
+        b = self.bits(expr.right)
+        if expr.op in ("and", "or", "xor"):
+            make = {
+                "and": self.builder.and_,
+                "or": self.builder.or_,
+                "xor": self.builder.xor,
+            }[expr.op]
+            return [make(x, y) for x, y in zip(a, b)]
+        if expr.op == "add":
+            return self._ripple_add(a, b, carry_in=None)
+        if expr.op == "sub":
+            # a - b  ==  a + ~b + 1
+            nb = [self.builder.inv(y) for y in b]
+            return self._ripple_add(a, nb, carry_in=1)
+        raise RtlError(f"unknown binary op {expr.op!r}")
+
+    def _ripple_add(
+        self, a: List[str], b: List[str], carry_in: Optional[int]
+    ) -> List[str]:
+        """Classic ripple-carry adder; carry_in of None means 0."""
+        builder = self.builder
+        sums: List[str] = []
+        carry: Optional[str] = None
+        for i, (x, y) in enumerate(zip(a, b)):
+            half = builder.xor(x, y)
+            if i == 0 and carry_in is None:
+                sums.append(builder.buf(half))
+                carry = builder.and_(x, y)
+            elif i == 0:
+                # carry_in == 1: sum = ~(x^y), carry = x | y
+                sums.append(builder.inv(half))
+                carry = builder.or_(x, y)
+            else:
+                sums.append(builder.xor(half, carry))
+                carry = builder.or_(
+                    builder.and_(x, y), builder.and_(half, carry)
+                )
+        return sums
+
+    def _lower_compare(self, expr: Compare) -> List[str]:
+        a = self.bits(expr.left)
+        b = self.bits(expr.right)
+        builder = self.builder
+        if expr.op in ("eq", "ne"):
+            same = [builder.xnor(x, y) for x, y in zip(a, b)]
+            eq = self._tree("and", same)
+            if expr.op == "eq":
+                return [eq]
+            return [builder.inv(eq)]
+        # Unsigned less-than via ripple borrow.
+        borrow: Optional[str] = None
+        for x, y in zip(a, b):
+            below = builder.and_(builder.inv(x), y)
+            if borrow is None:
+                borrow = below
+            else:
+                same = builder.xnor(x, y)
+                borrow = builder.or_(below, builder.and_(same, borrow))
+        assert borrow is not None
+        return [borrow]
+
+    def _tree(self, op: str, bits: Sequence[str]) -> str:
+        """Balanced reduction tree over ``bits``."""
+        make = {
+            "and": self.builder.and_,
+            "or": self.builder.or_,
+            "xor": self.builder.xor,
+        }[op]
+        level = list(bits)
+        if len(level) == 1:
+            return self.builder.buf(level[0])
+        while len(level) > 1:
+            nxt: List[str] = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(make(level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def _const_net(self, value: int) -> str:
+        if value:
+            if self._const1 is None:
+                self._const1 = self.builder.const1()
+            return self._const1
+        if self._const0 is None:
+            self._const0 = self.builder.const0()
+        return self._const0
+
+
+def lower(module: Module) -> Netlist:
+    """Elaborate ``module`` into an unoptimized gate-level netlist."""
+    return Lowering(module).run()

@@ -1,0 +1,215 @@
+"""Technology mapping onto an ITC99-style mapped-cell library.
+
+The gate-level ITC99 releases the paper evaluates are technology mapped:
+word muxes show up as the 2-level NAND trees of Figure 1, wide logic is
+decomposed to bounded-fanin cells, and AND/OR/XOR/INV cells appear
+alongside them.  This pass performs the same translation:
+
+* :func:`decompose_wide_gates` — bound every AND/OR/XOR fanin to
+  ``max_arity`` by building balanced trees (the final gate keeps the
+  original output net, so flip-flop D-net names survive mapping);
+* :func:`map_muxes` — rewrite each ``MUX(s, a, b)`` into
+  ``NAND(NAND(~s, a), NAND(s, b))``, sharing the select inverter across
+  all muxes on the same select net (this shared ``~s`` net is precisely
+  the kind of CAD-inserted control signal the paper goes hunting for).
+
+:func:`tech_map` chains both plus cleanup.  Mapping never touches
+flip-flops or net names at register boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..netlist.cells import AND, INV, NAND, NOR as _NOR, OR, XNOR as _XNOR, XOR
+from ..netlist.netlist import Netlist
+from ..netlist.transforms import sweep_dead_logic
+from .optimize import cleanup_double_inverters, simplify_duplicate_inputs
+
+__all__ = [
+    "decompose_wide_gates",
+    "map_muxes",
+    "flatten_associative",
+    "absorb_inverters",
+    "tech_map",
+    "DEFAULT_MAX_ARITY",
+]
+
+#: Widest cell in the target library (NAND4/NOR4/AND4/OR4).
+DEFAULT_MAX_ARITY = 4
+
+
+def _fresh(netlist: Netlist, base: str) -> str:
+    name = base
+    suffix = 0
+    while name in netlist or netlist.has_net(name):
+        suffix += 1
+        name = f"{base}_{suffix}"
+    return name
+
+
+def decompose_wide_gates(
+    netlist: Netlist, max_arity: int = DEFAULT_MAX_ARITY
+) -> int:
+    """Split gates wider than ``max_arity`` into balanced trees.
+
+    For AND/OR families the inner tree nodes use the *non-inverted* family
+    gate and only the root keeps the original cell (a wide NAND is an AND
+    tree with a NAND root).  XOR/XNOR decompose the same way (parity is
+    associative; the root keeps the inversion).  Returns gates rewritten.
+    """
+    changed = 0
+    for name in [g.name for g in netlist.gates_in_file_order()]:
+        if name not in netlist:
+            continue
+        gate = netlist.gate(name)
+        if gate.cell.family not in ("and", "or", "xor"):
+            continue
+        if len(gate.inputs) <= max_arity:
+            continue
+        inner_cell = {"and": AND, "or": OR, "xor": XOR}[gate.cell.family]
+        level: List[str] = list(gate.inputs)
+        while len(level) > max_arity:
+            nxt: List[str] = []
+            for i in range(0, len(level), max_arity):
+                chunk = level[i : i + max_arity]
+                if len(chunk) == 1:
+                    nxt.append(chunk[0])
+                    continue
+                inner = _fresh(netlist, f"{name}_t")
+                netlist.add_gate(inner, inner_cell, chunk, inner)
+                nxt.append(inner)
+            level = nxt
+        netlist.replace_gate(name, gate.cell, level)
+        changed += 1
+    return changed
+
+
+def map_muxes(netlist: Netlist) -> int:
+    """Rewrite every MUX into the canonical 3-NAND + shared-INV network.
+
+    ``MUX(s, a, b)`` (``a`` when ``s=0``) becomes::
+
+        ns  = INV(s)          -- one per distinct select net
+        n1  = NAND(ns, a)
+        n2  = NAND(s,  b)
+        out = NAND(n1, n2)    -- keeps the mux's gate name and output net
+
+    Returns the number of muxes mapped.
+    """
+    inverters: Dict[str, str] = {}
+    mapped = 0
+    for name in [g.name for g in netlist.gates_in_file_order()]:
+        if name not in netlist:
+            continue
+        gate = netlist.gate(name)
+        if gate.cell.family != "mux":
+            continue
+        sel, a, b = gate.inputs
+        nsel = inverters.get(sel)
+        if nsel is None:
+            existing = next(
+                (c.output for c in netlist.fanouts(sel) if c.cell is INV),
+                None,
+            )
+            if existing is None:
+                nsel = _fresh(netlist, f"{name}_ns")
+                netlist.add_gate(nsel, INV, [sel], nsel)
+            else:
+                nsel = existing
+            inverters[sel] = nsel
+        n1 = _fresh(netlist, f"{name}_a")
+        netlist.add_gate(n1, NAND, [nsel, a], n1)
+        n2 = _fresh(netlist, f"{name}_b")
+        netlist.add_gate(n2, NAND, [sel, b], n2)
+        netlist.replace_gate(name, NAND, [n1, n2])
+        mapped += 1
+    return mapped
+
+
+def flatten_associative(
+    netlist: Netlist, max_arity: int = DEFAULT_MAX_ARITY
+) -> int:
+    """Merge same-family AND/OR/XOR chains into wider gates.
+
+    ``AND(AND(p, q), s)`` becomes ``AND(p, q, s)`` when the inner gate has
+    no other fanout and the result stays within ``max_arity``.  This is the
+    re-association a mapper performs before cell selection; it is what
+    turns bitwise RTL like ``~(p & q & s)`` into the 3-input roots seen in
+    the paper's Figure 1.  Returns the number of merges.
+    """
+    merged = 0
+    again = True
+    while again:
+        again = False
+        for name in [g.name for g in netlist.gates_in_file_order()]:
+            if name not in netlist:
+                continue
+            gate = netlist.gate(name)
+            if gate.cell.family not in ("and", "or", "xor") or gate.cell.inverted:
+                continue
+            for input_net in gate.inputs:
+                inner = netlist.driver(input_net)
+                if (
+                    inner is None
+                    or inner.cell is not gate.cell
+                    or len(netlist.fanouts(input_net)) != 1
+                    or input_net in netlist.primary_outputs
+                ):
+                    continue
+                widened = [n for n in gate.inputs if n != input_net]
+                widened.extend(inner.inputs)
+                if len(widened) > max_arity:
+                    continue
+                netlist.remove_gate(inner.name)
+                netlist.replace_gate(name, gate.cell, widened)
+                merged += 1
+                again = True
+                break
+    return merged
+
+
+def absorb_inverters(netlist: Netlist) -> int:
+    """Fuse single-fanout inverter pairs across gate boundaries.
+
+    ``INV(AND(...))`` becomes a NAND (and NAND→AND, OR→NOR, NOR→OR,
+    XOR↔XNOR) whenever the inner gate drives only the inverter.  The fused
+    gate keeps the *inverter's* output net, so flip-flop D-net names — the
+    word bits — survive.  This is why mapped netlists are NAND/NOR heavy.
+    Returns the number of fusions.
+    """
+    flip = {"AND": NAND, "NAND": AND, "OR": _NOR, "NOR": OR, "XOR": _XNOR,
+            "XNOR": XOR}
+    fused = 0
+    for name in [g.name for g in netlist.gates_in_file_order()]:
+        if name not in netlist:
+            continue
+        gate = netlist.gate(name)
+        if gate.cell is not INV:
+            continue
+        inner_net = gate.inputs[0]
+        inner = netlist.driver(inner_net)
+        if (
+            inner is None
+            or inner.cell.name not in flip
+            or len(netlist.fanouts(inner_net)) != 1
+            or inner_net in netlist.primary_outputs
+        ):
+            continue
+        inner_inputs = inner.inputs
+        netlist.remove_gate(inner.name)
+        netlist.replace_gate(name, flip[inner.cell.name], inner_inputs)
+        fused += 1
+    return fused
+
+
+def tech_map(netlist: Netlist, max_arity: int = DEFAULT_MAX_ARITY) -> Netlist:
+    """Full mapping pass: bounded fanins, no muxes, NAND/NOR fusion."""
+    decompose_wide_gates(netlist, max_arity)
+    map_muxes(netlist)
+    flatten_associative(netlist, max_arity)
+    simplify_duplicate_inputs(netlist)
+    absorb_inverters(netlist)
+    cleanup_double_inverters(netlist)
+    sweep_dead_logic(netlist)
+    return netlist

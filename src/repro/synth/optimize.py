@@ -1,0 +1,265 @@
+"""Netlist optimization passes.
+
+These model the synthesis-tool optimizations that make reverse engineering
+hard — and that create the structures the paper exploits:
+
+* :func:`fold_constants` — per-bit constant propagation.  When a word mux
+  selects a source with constant bits, the affected bits' logic collapses
+  differently from their siblings', breaking full structural similarity —
+  the origin of the partially-matching words of Section 2.3.
+* :func:`simplify_mux_constants` — rewrites muxes with constant data pins
+  into AND/OR forms (what a real optimizer does), further specializing the
+  affected bits.
+* :func:`strash` — structural hashing / common-subexpression merging.
+  Repeated control logic collapses to a single shared cone whose outputs
+  fan out into many words, yielding the shared control signals of Figure 1.
+* :func:`cleanup_buffers` / :func:`cleanup_double_inverters` — wire-level
+  cleanup after other passes.
+
+All passes mutate the given netlist in place and return a change count,
+except :func:`fold_constants`, which rebuilds (constant folding removes
+nets wholesale).  :func:`optimize` chains them to a fixpoint.
+
+Implementation note: passes re-fetch gates by name while iterating because
+rewiring replaces :class:`Gate` objects — a snapshot of the gate list goes
+stale as soon as anything is rewired.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.reduction import reduce_netlist
+from ..netlist.cells import AND, BUF, INV, OR
+from ..netlist.netlist import Gate, Netlist
+from ..netlist.transforms import rewire_consumers, sweep_dead_logic
+
+__all__ = [
+    "fold_constants",
+    "simplify_mux_constants",
+    "strash",
+    "simplify_duplicate_inputs",
+    "cleanup_buffers",
+    "cleanup_double_inverters",
+    "optimize",
+]
+
+_COMMUTATIVE = ("and", "or", "xor")
+
+
+def fold_constants(netlist: Netlist) -> Netlist:
+    """Propagate TIE-cell constants through the logic; returns a new netlist.
+
+    Implemented as circuit reduction under the empty assignment — constant
+    drivers are implicit seeds, so this is exactly the Section 2.5 engine
+    doing double duty as a synthesis pass.
+    """
+    return reduce_netlist(netlist, {}).netlist
+
+
+def _gate_names(netlist: Netlist) -> List[str]:
+    return [gate.name for gate in netlist.gates_in_file_order()]
+
+
+def _constant_value(netlist: Netlist, net: str) -> Optional[int]:
+    driver = netlist.driver(net)
+    if driver is not None and driver.cell.is_constant:
+        return driver.cell.evaluate(())
+    return None
+
+
+def _inverted(netlist: Netlist, near: str, net: str) -> str:
+    """A net carrying ``~net``, reusing an existing inverter when possible."""
+    for consumer in netlist.fanouts(net):
+        if consumer.cell is INV:
+            return consumer.output
+    name = f"{near}_n"
+    while name in netlist or netlist.has_net(name):
+        name += "_"
+    netlist.add_gate(name, INV, [net], name)
+    return name
+
+
+def simplify_mux_constants(netlist: Netlist) -> int:
+    """Rewrite MUX gates with constant data inputs into AND/OR forms.
+
+    ``MUX(s, a, b)`` selects ``a`` when ``s = 0``:
+
+    =========  =====================
+    constant   replacement
+    =========  =====================
+    ``a = 0``  ``AND(s, b)``
+    ``a = 1``  ``OR(~s, b)``
+    ``b = 0``  ``AND(~s, a)``
+    ``b = 1``  ``OR(s, a)``
+    =========  =====================
+
+    Returns the number of muxes rewritten.  Run :func:`fold_constants`
+    first so constant *selects* are already gone.
+    """
+    changed = 0
+    for name in _gate_names(netlist):
+        if name not in netlist:
+            continue
+        gate = netlist.gate(name)
+        if gate.cell.family != "mux":
+            continue
+        sel, a, b = gate.inputs
+        a_const = _constant_value(netlist, a)
+        b_const = _constant_value(netlist, b)
+        if a_const is None and b_const is None:
+            continue
+        if a_const is not None and b_const is not None:
+            if a_const == b_const:
+                netlist.replace_gate(name, BUF, [a])
+            elif a_const == 0:  # s ? 1 : 0  ==  s
+                netlist.replace_gate(name, BUF, [sel])
+            else:  # s ? 0 : 1  ==  ~s
+                netlist.replace_gate(name, INV, [sel])
+        elif a_const == 0:
+            netlist.replace_gate(name, AND, [sel, b])
+        elif a_const == 1:
+            netlist.replace_gate(name, OR, [_inverted(netlist, name, sel), b])
+        elif b_const == 0:
+            netlist.replace_gate(name, AND, [_inverted(netlist, name, sel), a])
+        else:  # b_const == 1
+            netlist.replace_gate(name, OR, [sel, a])
+        changed += 1
+    return changed
+
+
+def strash(netlist: Netlist) -> int:
+    """Merge structurally identical gates (structural hashing / CSE).
+
+    Two combinational gates with the same cell and the same input nets
+    (order-insensitive for commutative families) compute the same value;
+    consumers of the duplicate are rewired to the first occurrence.
+    Processing in topological order lets merges cascade in a single pass.
+    Returns the number of gates merged away.
+    """
+    merged = 0
+    table: Dict[Tuple, str] = {}
+    for name in [g.name for g in netlist.topological_order()]:
+        if name not in netlist:
+            continue
+        gate = netlist.gate(name)
+        if gate.is_ff or gate.cell.is_constant:
+            continue
+        if gate.cell.family in _COMMUTATIVE:
+            key = (gate.cell.name, tuple(sorted(gate.inputs)))
+        else:
+            key = (gate.cell.name, gate.inputs)
+        canonical = table.get(key)
+        if canonical is None:
+            table[key] = gate.output
+            continue
+        rewire_consumers(netlist, gate.output, canonical)
+        if gate.output in netlist.primary_outputs:
+            netlist.replace_gate(name, BUF, [canonical])
+        else:
+            netlist.remove_gate(name)
+        merged += 1
+    return merged
+
+
+def simplify_duplicate_inputs(netlist: Netlist) -> int:
+    """Apply x∧x=x, x∨x=x and x⊕x=0 after merges make inputs collide.
+
+    Structural hashing can rewire two inputs of one gate onto the same
+    net; AND/OR gates then just drop the duplicate, while each duplicated
+    XOR/XNOR pair cancels (possibly leaving a constant or a single-input
+    buffer/inverter).  Returns the number of gates rewritten.
+    """
+    changed = 0
+    for name in _gate_names(netlist):
+        if name not in netlist:
+            continue
+        gate = netlist.gate(name)
+        family = gate.cell.family
+        if family not in _COMMUTATIVE:
+            continue
+        if len(set(gate.inputs)) == len(gate.inputs):
+            continue
+        if family in ("and", "or"):
+            deduped = list(dict.fromkeys(gate.inputs))
+            if len(deduped) == 1:
+                cell = INV if gate.cell.inverted else BUF
+            else:
+                cell = gate.cell
+            netlist.replace_gate(name, cell, deduped)
+        else:  # xor family: identical pairs cancel
+            counts: Dict[str, int] = {}
+            for net in gate.inputs:
+                counts[net] = counts.get(net, 0) + 1
+            survivors = [net for net, c in counts.items() if c % 2]
+            if not survivors:
+                # Parity of nothing is 0; XNOR inverts it.
+                from ..netlist.cells import TIE0, TIE1
+
+                netlist.replace_gate(
+                    name, TIE1 if gate.cell.inverted else TIE0, []
+                )
+            elif len(survivors) == 1:
+                cell = INV if gate.cell.inverted else BUF
+                netlist.replace_gate(name, cell, survivors)
+            else:
+                netlist.replace_gate(name, gate.cell, survivors)
+        changed += 1
+    return changed
+
+
+def cleanup_buffers(netlist: Netlist) -> int:
+    """Bypass BUF gates (except those defining primary outputs)."""
+    removed = 0
+    for name in _gate_names(netlist):
+        if name not in netlist:
+            continue
+        gate = netlist.gate(name)
+        if gate.cell.family != "buf" or gate.cell.inverted:
+            continue
+        if gate.output in netlist.primary_outputs:
+            continue
+        rewire_consumers(netlist, gate.output, gate.inputs[0])
+        netlist.remove_gate(name)
+        removed += 1
+    return removed
+
+
+def cleanup_double_inverters(netlist: Netlist) -> int:
+    """Collapse INV(INV(x)) chains back to x."""
+    removed = 0
+    for name in _gate_names(netlist):
+        if name not in netlist:
+            continue
+        gate = netlist.gate(name)
+        if gate.cell is not INV:
+            continue
+        driver = netlist.driver(gate.inputs[0])
+        if driver is None or driver.cell is not INV:
+            continue
+        original = driver.inputs[0]
+        rewire_consumers(netlist, gate.output, original)
+        if gate.output in netlist.primary_outputs:
+            netlist.replace_gate(name, BUF, [original])
+        else:
+            netlist.remove_gate(name)
+        removed += 1
+    return removed
+
+
+def optimize(netlist: Netlist, max_rounds: int = 4) -> Netlist:
+    """Run the full optimization pipeline to a (bounded) fixpoint."""
+    current = fold_constants(netlist)
+    for _ in range(max_rounds):
+        changed = 0
+        changed += simplify_mux_constants(current)
+        current = fold_constants(current)
+        changed += strash(current)
+        changed += simplify_duplicate_inputs(current)
+        current = fold_constants(current)
+        changed += cleanup_buffers(current)
+        changed += cleanup_double_inverters(current)
+        changed += sweep_dead_logic(current)
+        if not changed:
+            break
+    return current

@@ -1,0 +1,366 @@
+"""Word-level RTL intermediate representation.
+
+This is the stand-in for the ITC99 VHDL sources: benchmark designs are
+written against this IR and pushed through the synthesis flow
+(:mod:`repro.synth.lower` → :mod:`repro.synth.optimize` →
+:mod:`repro.synth.mapping` → :mod:`repro.synth.order`) to produce the
+flat, optimized, technology-mapped netlists the paper reverse engineers.
+
+The IR is deliberately small but covers what the benchmarks need:
+
+* multi-bit inputs, registers (with optional reset values) and outputs,
+* bitwise ops, ripple-carry add/sub, equality/magnitude comparison,
+* 2:1 word muxes (the workhorse — every load-enable and FSM-controlled
+  register transfer becomes a mux), slicing, concatenation, reductions.
+
+Expressions form a DAG; widths are checked at construction.  All values are
+unsigned.  Bit 0 is the LSB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Expr", "Const", "InputRef", "RegRef", "Unary", "Binary", "Compare",
+    "Mux", "Slice", "Concat", "Reduce",
+    "Register", "Module", "RtlError",
+]
+
+
+class RtlError(ValueError):
+    """Raised on malformed RTL (width mismatches, unknown names...)."""
+
+
+class Expr:
+    """Base class of all RTL expressions; every node knows its width."""
+
+    width: int
+
+    # -- operator sugar ------------------------------------------------
+    def __and__(self, other: "Expr") -> "Expr":
+        return Binary("and", self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Binary("or", self, other)
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Binary("xor", self, other)
+
+    def __add__(self, other: "Expr") -> "Expr":
+        return Binary("add", self, other)
+
+    def __sub__(self, other: "Expr") -> "Expr":
+        return Binary("sub", self, other)
+
+    def __invert__(self) -> "Expr":
+        return Unary("not", self)
+
+    def eq(self, other: "Expr") -> "Expr":
+        return Compare("eq", self, other)
+
+    def ne(self, other: "Expr") -> "Expr":
+        return Compare("ne", self, other)
+
+    def lt(self, other: "Expr") -> "Expr":
+        return Compare("lt", self, other)
+
+    def bit(self, index: int) -> "Expr":
+        return Slice(self, index, index)
+
+    def slice(self, lo: int, hi: int) -> "Expr":
+        return Slice(self, lo, hi)
+
+    def any(self) -> "Expr":
+        return Reduce("or", self)
+
+    def all(self) -> "Expr":
+        return Reduce("and", self)
+
+    def parity(self) -> "Expr":
+        return Reduce("xor", self)
+
+
+def _require_width(expr: Expr, width: int, context: str) -> None:
+    if expr.width != width:
+        raise RtlError(
+            f"{context}: expected width {width}, got {expr.width}"
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class Const(Expr):
+    """An unsigned constant of a fixed width."""
+
+    value: int
+    width: int
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise RtlError("constant width must be >= 1")
+        if not 0 <= self.value < (1 << self.width):
+            raise RtlError(
+                f"constant {self.value} does not fit in {self.width} bits"
+            )
+
+    def bit_value(self, index: int) -> int:
+        return (self.value >> index) & 1
+
+
+@dataclass(frozen=True, eq=False)
+class InputRef(Expr):
+    """Reference to a module input port."""
+
+    name: str
+    width: int
+
+
+@dataclass(frozen=True, eq=False)
+class RegRef(Expr):
+    """Reference to a register's current (pre-clock-edge) value."""
+
+    name: str
+    width: int
+
+
+@dataclass(frozen=True, eq=False)
+class Unary(Expr):
+    """Bitwise NOT."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self):
+        if self.op != "not":
+            raise RtlError(f"unknown unary op {self.op!r}")
+
+    @property
+    def width(self) -> int:
+        return self.operand.width
+
+
+@dataclass(frozen=True, eq=False)
+class Binary(Expr):
+    """Bitwise and arithmetic binary ops: and/or/xor/add/sub."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    _OPS = ("and", "or", "xor", "add", "sub")
+
+    def __post_init__(self):
+        if self.op not in self._OPS:
+            raise RtlError(f"unknown binary op {self.op!r}")
+        _require_width(self.right, self.left.width, f"binary {self.op}")
+
+    @property
+    def width(self) -> int:
+        return self.left.width
+
+
+@dataclass(frozen=True, eq=False)
+class Compare(Expr):
+    """Comparisons producing one bit: eq/ne/lt (unsigned)."""
+
+    op: str
+    left: Expr
+    right: Expr
+    width: int = 1
+
+    _OPS = ("eq", "ne", "lt")
+
+    def __post_init__(self):
+        if self.op not in self._OPS:
+            raise RtlError(f"unknown comparison {self.op!r}")
+        _require_width(self.right, self.left.width, f"compare {self.op}")
+
+
+@dataclass(frozen=True, eq=False)
+class Mux(Expr):
+    """``sel ? then : els`` with a one-bit select."""
+
+    sel: Expr
+    then: Expr
+    els: Expr
+
+    def __post_init__(self):
+        _require_width(self.sel, 1, "mux select")
+        _require_width(self.els, self.then.width, "mux arms")
+
+    @property
+    def width(self) -> int:
+        return self.then.width
+
+
+@dataclass(frozen=True, eq=False)
+class Slice(Expr):
+    """Bits ``lo..hi`` inclusive of an operand (LSB = bit 0)."""
+
+    operand: Expr
+    lo: int
+    hi: int
+
+    def __post_init__(self):
+        if not 0 <= self.lo <= self.hi < self.operand.width:
+            raise RtlError(
+                f"slice [{self.hi}:{self.lo}] out of range for "
+                f"width {self.operand.width}"
+            )
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo + 1
+
+
+@dataclass(frozen=True, eq=False)
+class Concat(Expr):
+    """Concatenation; ``parts[0]`` supplies the least-significant bits."""
+
+    parts: Tuple[Expr, ...]
+
+    def __post_init__(self):
+        if not self.parts:
+            raise RtlError("empty concatenation")
+
+    @property
+    def width(self) -> int:
+        return sum(p.width for p in self.parts)
+
+
+@dataclass(frozen=True, eq=False)
+class Reduce(Expr):
+    """AND/OR/XOR reduction of all bits to a single bit."""
+
+    op: str
+    operand: Expr
+    width: int = 1
+
+    _OPS = ("and", "or", "xor")
+
+    def __post_init__(self):
+        if self.op not in self._OPS:
+            raise RtlError(f"unknown reduction {self.op!r}")
+
+
+@dataclass
+class Register:
+    """A named register: ``name <= next`` every clock.
+
+    ``reset`` (optional) adds a synchronous reset mux controlled by the
+    module-level reset input, exactly like the ITC99 VHDL processes.
+    """
+
+    name: str
+    width: int
+    next: Optional[Expr] = None
+    reset: Optional[int] = None
+
+    def ref(self) -> RegRef:
+        return RegRef(self.name, self.width)
+
+
+class Module:
+    """A word-level design: inputs, registers, outputs.
+
+    Use :meth:`input` / :meth:`register` / :meth:`output` to build, then
+    :meth:`check` (called by the synthesizer) validates completeness.
+    """
+
+    def __init__(self, name: str, reset_input: Optional[str] = None):
+        self.name = name
+        self.inputs: Dict[str, int] = {}
+        self.registers: Dict[str, Register] = {}
+        self.outputs: Dict[str, Expr] = {}
+        self.reset_input = reset_input
+        if reset_input:
+            self.inputs[reset_input] = 1
+
+    def input(self, name: str, width: int = 1) -> InputRef:
+        if name in self.inputs and self.inputs[name] != width:
+            raise RtlError(f"input {name!r} redeclared with new width")
+        self.inputs[name] = width
+        return InputRef(name, width)
+
+    def register(
+        self, name: str, width: int, reset: Optional[int] = None
+    ) -> Register:
+        if name in self.registers:
+            raise RtlError(f"register {name!r} already declared")
+        reg = Register(name, width, None, reset)
+        self.registers[name] = reg
+        return reg
+
+    def output(self, name: str, expr: Expr) -> None:
+        if name in self.outputs:
+            raise RtlError(f"output {name!r} already declared")
+        self.outputs[name] = expr
+
+    def reset_ref(self) -> InputRef:
+        if not self.reset_input:
+            raise RtlError(f"module {self.name!r} has no reset input")
+        return InputRef(self.reset_input, 1)
+
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Validate that the module is complete and internally consistent."""
+        for reg in self.registers.values():
+            if reg.next is None:
+                raise RtlError(f"register {reg.name!r} has no next-state")
+            _require_width(reg.next, reg.width, f"register {reg.name!r}")
+            if reg.reset is not None:
+                if not 0 <= reg.reset < (1 << reg.width):
+                    raise RtlError(
+                        f"reset value of {reg.name!r} does not fit"
+                    )
+                if not self.reset_input:
+                    raise RtlError(
+                        f"register {reg.name!r} has a reset value but the "
+                        f"module declares no reset input"
+                    )
+        seen: set = set()
+        for name, expr in self.outputs.items():
+            self._check_refs(expr, f"output {name!r}", seen)
+        for reg in self.registers.values():
+            self._check_refs(reg.next, f"register {reg.name!r}", seen)
+
+    def _check_refs(self, expr: Expr, context: str, seen: Optional[set] = None) -> None:
+        if seen is not None:
+            if id(expr) in seen:
+                return
+            seen.add(id(expr))
+        if isinstance(expr, InputRef):
+            declared = self.inputs.get(expr.name)
+            if declared is None:
+                raise RtlError(f"{context}: unknown input {expr.name!r}")
+            if declared != expr.width:
+                raise RtlError(
+                    f"{context}: input {expr.name!r} width mismatch"
+                )
+        elif isinstance(expr, RegRef):
+            reg = self.registers.get(expr.name)
+            if reg is None:
+                raise RtlError(f"{context}: unknown register {expr.name!r}")
+            if reg.width != expr.width:
+                raise RtlError(
+                    f"{context}: register {expr.name!r} width mismatch"
+                )
+        for child in _children(expr):
+            self._check_refs(child, context, seen)
+
+
+def _children(expr: Expr) -> Tuple[Expr, ...]:
+    if isinstance(expr, Unary):
+        return (expr.operand,)
+    if isinstance(expr, (Binary, Compare)):
+        return (expr.left, expr.right)
+    if isinstance(expr, Mux):
+        return (expr.sel, expr.then, expr.els)
+    if isinstance(expr, Slice):
+        return (expr.operand,)
+    if isinstance(expr, Concat):
+        return expr.parts
+    if isinstance(expr, Reduce):
+        return (expr.operand,)
+    return ()

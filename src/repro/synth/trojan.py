@@ -1,0 +1,104 @@
+"""Hardware-Trojan insertion — the paper's motivating threat model.
+
+The introduction frames word identification as the first step of finding
+Trojans "inserted during the synthesis and optimization steps ... by a
+malicious designer and/or a malicious CAD tool".  This module plays the
+adversary so the benchmarks can ask the paper's implicit robustness
+question: does word recovery survive a netlist that has been tampered with?
+
+The inserted Trojan follows the classic rare-trigger pattern ([5], [10] in
+the paper's references): a small AND-tree trigger over existing register
+bits, and an XOR payload splicing the trigger into one victim net's
+consumers.  Both are built from ordinary library cells so nothing about
+the Trojan is structurally loud.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..netlist.cells import AND, INV, XOR
+from ..netlist.netlist import Gate, Netlist, NetlistError
+
+__all__ = ["TrojanSpec", "insert_trojan"]
+
+
+@dataclass(frozen=True)
+class TrojanSpec:
+    """Description of one inserted Trojan (returned for test assertions)."""
+
+    trigger_nets: tuple
+    trigger_output: str
+    victim_net: str
+    payload_output: str
+
+
+def insert_trojan(
+    netlist: Netlist,
+    trigger_width: int = 4,
+    seed: int = 2015,
+    victim_net: Optional[str] = None,
+) -> TrojanSpec:
+    """Insert a rare-trigger XOR-payload Trojan; mutates ``netlist``.
+
+    ``trigger_width`` register bits are combined through an AND tree (with
+    a deterministic inversion pattern so the trigger state is rare); the
+    payload XORs the trigger into ``victim_net`` and rewires that net's
+    consumers — exactly the "few lines of alteration" footprint the paper
+    warns about.  A fixed ``seed`` keeps benchmarks reproducible.
+    """
+    rng = random.Random(seed)
+    ff_outputs = sorted(netlist.register_output_nets())
+    if len(ff_outputs) < trigger_width:
+        raise NetlistError("not enough registers to build a trigger")
+    trigger_nets = tuple(rng.sample(ff_outputs, trigger_width))
+
+    candidates: List[Gate] = [
+        g
+        for g in netlist.gates_in_file_order()
+        if not g.is_ff
+        and not g.cell.is_constant
+        and netlist.fanouts(g.output)
+        and g.output not in netlist.primary_outputs
+    ]
+    if victim_net is None:
+        if not candidates:
+            raise NetlistError("no internal net available as victim")
+        victim_net = rng.choice(candidates).output
+    elif netlist.driver(victim_net) is None:
+        raise NetlistError(f"victim net {victim_net!r} has no driver")
+
+    # Trigger: AND tree over (possibly inverted) register bits.
+    level: List[str] = []
+    for i, net in enumerate(trigger_nets):
+        if i % 2:  # deterministic inversion pattern -> rare all-match state
+            inv = f"_troj_inv{i}"
+            netlist.add_gate(inv, INV, [net], inv)
+            level.append(inv)
+        else:
+            level.append(net)
+    counter = 0
+    while len(level) > 1:
+        nxt: List[str] = []
+        for j in range(0, len(level) - 1, 2):
+            name = f"_troj_and{counter}"
+            counter += 1
+            netlist.add_gate(name, AND, [level[j], level[j + 1]], name)
+            nxt.append(name)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    trigger_output = level[0]
+
+    # Payload: splice trigger XOR victim into the victim's consumers.
+    payload = "_troj_payload"
+    consumers = list(netlist.fanouts(victim_net))
+    netlist.add_gate(payload, XOR, [victim_net, trigger_output], payload)
+    for gate in consumers:
+        new_inputs = [
+            payload if n == victim_net else n for n in gate.inputs
+        ]
+        netlist.replace_gate(gate.name, gate.cell, new_inputs)
+    return TrojanSpec(trigger_nets, trigger_output, victim_net, payload)

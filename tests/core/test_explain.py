@@ -1,0 +1,110 @@
+"""Tests for control-signal provenance (naming what controls compute)."""
+
+import pytest
+
+from repro.core import Word, identify_words, propagate_words
+from repro.core.explain import explain_control_signal, explain_controls
+from repro.netlist import NetlistBuilder
+from repro.synth import Const, Module, Mux, synthesize
+
+
+def comparator_design():
+    """sel = (a == b) drives a selected register."""
+    b = NetlistBuilder("t")
+    a_bits = b.input_word("a", 4)
+    b_bits = b.input_word("b", 4)
+    same = [b.xnor(x, y) for x, y in zip(a_bits, b_bits)]
+    eq01 = b.and_(same[0], same[1])
+    eq23 = b.and_(same[2], same[3])
+    eq = b.and_(eq01, eq23)
+    b.netlist.add_output(eq)
+    return b.build(), a_bits, b_bits, eq
+
+
+class TestEqualityRecognition:
+    def test_eq_tree_recognized(self):
+        nl, a, bb, eq = comparator_design()
+        words = [Word(tuple(a)), Word(tuple(bb))]
+        explanation = explain_control_signal(nl, eq, words)
+        assert explanation.kind == "eq"
+        assert explanation.verified
+        assert {w.bit_set for w in explanation.operands} == {
+            frozenset(a), frozenset(bb)
+        }
+
+    def test_ne_recognized(self):
+        nl, a, bb, eq = comparator_design()
+        ne = None
+        # Rebuild with an inverter on top.
+        b = NetlistBuilder("t")
+        a_bits = b.input_word("a", 4)
+        b_bits = b.input_word("b", 4)
+        same = [b.xnor(x, y) for x, y in zip(a_bits, b_bits)]
+        eq_net = b.and_(b.and_(same[0], same[1]), b.and_(same[2], same[3]))
+        ne = b.inv(eq_net)
+        b.netlist.add_output(ne)
+        nl = b.build()
+        words = [Word(tuple(a_bits)), Word(tuple(b_bits))]
+        assert explain_control_signal(nl, ne, words).kind == "ne"
+
+    def test_reductions_recognized(self):
+        b = NetlistBuilder("t")
+        w = b.input_word("w", 4)
+        any_net = b.or_(b.or_(w[0], w[1]), b.or_(w[2], w[3]))
+        all_net = b.and_(b.and_(w[0], w[1]), b.and_(w[2], w[3]))
+        b.netlist.add_output(any_net)
+        b.netlist.add_output(all_net)
+        nl = b.build()
+        words = [Word(tuple(w))]
+        assert explain_control_signal(nl, any_net, words).kind == "any"
+        assert explain_control_signal(nl, all_net, words).kind == "all"
+
+    def test_unrelated_signal_is_unknown(self):
+        nl, a, bb, eq = comparator_design()
+        words = [Word(tuple(a)), Word(tuple(bb))]
+        # A raw input bit is no function of the words.
+        assert explain_control_signal(nl, a[0], words).kind == "unknown"
+
+    def test_wrong_function_rejected(self):
+        """A parity tree must not verify as equality."""
+        b = NetlistBuilder("t")
+        a_bits = b.input_word("a", 4)
+        b_bits = b.input_word("b", 4)
+        diff = [b.xor(x, y) for x, y in zip(a_bits, b_bits)]
+        parity = b.xor(b.xor(diff[0], diff[1]), b.xor(diff[2], diff[3]))
+        b.netlist.add_output(parity)
+        nl = b.build()
+        words = [Word(tuple(a_bits)), Word(tuple(b_bits))]
+        explanation = explain_control_signal(nl, parity, words)
+        assert explanation.kind not in ("eq", "ne")
+
+
+class TestEndToEndProvenance:
+    def test_identified_control_explained_as_comparator(self):
+        """Full loop: synthesize a design whose select is (a == b), run
+        identification + propagation, then name the discovered control."""
+        m = Module("t", reset_input="rst")
+        a = m.input("a", 4)
+        c = m.input("c", 4)
+        d = m.input("d", 6)
+        e = m.input("e", 6)
+        sel = a.eq(c)
+        r = m.register("r", 6)
+        from repro.synth.rtl import Concat
+
+        r.next = Mux(sel, d, Mux(a.lt(c), e,
+                                 Concat((d.slice(0, 3), Const(0, 2)))))
+        m.output("o", r.ref())
+        nl = synthesize(m)
+
+        result = identify_words(nl)
+        assert result.control_signals  # something was discovered
+        grown = propagate_words(nl, result.words)
+        # Add the input words (an analyst knows the ports).
+        words = list(grown.words)
+        words.append(Word(tuple(f"a_{i}" for i in range(4))))
+        words.append(Word(tuple(f"c_{i}" for i in range(4))))
+        explanations = explain_controls(nl, result.control_signals, words)
+        description = " | ".join(e.describe() for e in explanations)
+        kinds = {e.kind for e in explanations}
+        assert kinds & {"eq", "ne"}, description

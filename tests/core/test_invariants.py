@@ -1,0 +1,104 @@
+"""Property-based invariants of the identification pipeline.
+
+These hypothesis tests state the contracts the rest of the repository
+relies on, over randomly generated netlists:
+
+* the identified words always partition the candidate nets (no bit in two
+  words),
+* the baseline's words are always refinements of Ours' words ("our
+  technique never performs worse than the base case"),
+* identification is deterministic,
+* identification never crashes on structurally valid netlists (the
+  robustness property a tool needs before it meets real designs).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PipelineConfig, identify_words, shape_hashing
+from repro.netlist import NetlistBuilder, validate
+
+
+@st.composite
+def random_sequential_netlists(draw):
+    """Random mapped-looking netlists with registers and shared controls."""
+    b = NetlistBuilder("rand")
+    nets = list(b.inputs(*[f"i{k}" for k in range(draw(st.integers(2, 5)))]))
+    # A couple of "control" nets with high fanout.
+    controls = [
+        b.inv(draw(st.sampled_from(nets)))
+        for _ in range(draw(st.integers(1, 2)))
+    ]
+    nets.extend(controls)
+    n_gates = draw(st.integers(min_value=4, max_value=25))
+    for _ in range(n_gates):
+        op = draw(st.sampled_from(
+            ["nand", "nor", "and_", "or_", "xor", "inv"]
+        ))
+        if op == "inv":
+            nets.append(b.inv(draw(st.sampled_from(nets))))
+            continue
+        use_control = draw(st.booleans())
+        x = draw(st.sampled_from(controls if use_control else nets))
+        y = draw(st.sampled_from(nets))
+        if x == y:
+            continue
+        nets.append(getattr(b, op)(x, y))
+    # Register a run of recent nets so there are candidate word bits.
+    n_regs = draw(st.integers(min_value=2, max_value=6))
+    for i, net in enumerate(nets[-n_regs:]):
+        try:
+            b.dff(net, output=f"r_reg_{i}")
+        except Exception:
+            pass
+    b.netlist.add_output(nets[-1])
+    return b.build()
+
+
+@given(random_sequential_netlists())
+@settings(max_examples=40, deadline=None)
+def test_words_partition_candidates(netlist):
+    result = identify_words(netlist)
+    seen = set()
+    for word in result.all_generated_words():
+        for bit in word.bits:
+            assert bit not in seen, f"bit {bit} in two words"
+            seen.add(bit)
+
+
+@given(random_sequential_netlists())
+@settings(max_examples=40, deadline=None)
+def test_ours_refines_base(netlist):
+    """Every baseline word is contained in exactly one of Ours' words."""
+    base = shape_hashing(netlist)
+    ours = identify_words(netlist)
+    for base_word in base.words:
+        containing = ours.word_of(base_word.bits[0])
+        assert containing is not None, (
+            f"base word {base_word} lost entirely"
+        )
+        assert set(base_word.bits) <= set(containing.bits)
+
+
+@given(random_sequential_netlists())
+@settings(max_examples=25, deadline=None)
+def test_identification_is_deterministic(netlist):
+    first = identify_words(netlist)
+    second = identify_words(netlist)
+    assert [w.bits for w in first.words] == [w.bits for w in second.words]
+    assert first.singletons == second.singletons
+    assert first.control_signals == second.control_signals
+
+
+@given(
+    random_sequential_netlists(),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=25, deadline=None)
+def test_never_crashes_across_configs(netlist, depth, max_simultaneous):
+    assert validate(netlist).ok
+    config = PipelineConfig(depth=depth, max_simultaneous=max_simultaneous)
+    result = identify_words(netlist, config)
+    assert result.runtime_seconds >= 0

@@ -1,0 +1,255 @@
+"""Tests for constant propagation and circuit reduction (Section 2.5).
+
+The headline property: for every input assignment *consistent with* the
+control-signal constants, the reduced netlist computes exactly the values
+the original does.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    InfeasibleAssignment,
+    propagate_constants,
+    reduce_netlist,
+    sweep_dead_logic,
+)
+from repro.netlist import (
+    NetlistBuilder,
+    evaluate_combinational,
+    exhaustive_inputs,
+    validate,
+)
+
+
+class TestPropagation:
+    def test_forward_through_controlling_value(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        n = b.nand(a, c)
+        m = b.nand(n, b.input("d"))
+        nl = b.build()
+        values = propagate_constants(nl, {a: 0})
+        assert values[n] == 1  # NAND with controlling 0
+        assert m not in values  # 1 is non-controlling for the next NAND
+
+    def test_forward_full_evaluation(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        n = b.xor(a, c)
+        nl = b.build()
+        values = propagate_constants(nl, {a: 1, c: 1})
+        assert values[n] == 0
+
+    def test_backward_through_inverter_chain(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        n1 = b.inv(a)
+        n2 = b.inv(n1)
+        nl = b.build()
+        values = propagate_constants(nl, {n2: 1})
+        assert values == {n2: 1, n1: 0, a: 1}
+
+    def test_backward_unique_and_implication(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        n = b.and_(a, c)
+        nl = b.build()
+        values = propagate_constants(nl, {n: 1})
+        assert values[a] == 1 and values[c] == 1
+
+    def test_backward_ambiguous_does_not_fire(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        n = b.and_(a, c)
+        nl = b.build()
+        values = propagate_constants(nl, {n: 0})
+        assert a not in values and c not in values
+
+    def test_conflict_raises_infeasible(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        n = b.inv(a)
+        nl = b.build()
+        with pytest.raises(InfeasibleAssignment):
+            propagate_constants(nl, {a: 1, n: 1})
+
+    def test_tie_cells_are_implicit_seeds(self):
+        b = NetlistBuilder("t")
+        one = b.const1()
+        a = b.input("a")
+        n = b.and_(one, a)
+        nl = b.build()
+        values = propagate_constants(nl, {})
+        assert values[one] == 1
+        assert n not in values  # still depends on a
+
+    def test_assignment_fighting_tie_raises(self):
+        b = NetlistBuilder("t")
+        zero = b.const0()
+        nl = b.build()
+        with pytest.raises(InfeasibleAssignment):
+            propagate_constants(nl, {zero: 1})
+
+    def test_non_boolean_assignment_rejected(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        nl = b.build()
+        with pytest.raises(ValueError):
+            propagate_constants(nl, {a: 2})
+
+
+class TestReduce:
+    def test_figure1_style_subtree_removal(self):
+        """Assigning the control to 0 removes the dissimilar NAND subtree."""
+        b = NetlistBuilder("t")
+        ctrl, r, s, t = b.inputs("ctrl", "r", "s", "t")
+        diss = b.nand(ctrl, r)
+        sim = b.nand(s, t)
+        root = b.nand(sim, diss, b.input("u"))
+        b.output(root, name="y")
+        nl = b.build()
+        red = reduce_netlist(nl, {ctrl: 0})
+        gate = red.netlist.driver(root)
+        assert diss not in gate.inputs
+        assert len(gate.inputs) == 2  # NAND3 became NAND2
+
+    def test_single_input_gate_becomes_inverter(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        n = b.nand(a, c)
+        b.output(n, name="y")
+        nl = b.build()
+        red = reduce_netlist(nl, {a: 1})
+        gate = red.netlist.driver(n)
+        assert gate.cell.name == "INV"
+        assert gate.inputs == (c,)
+
+    def test_and_becomes_buffer(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        n = b.and_(a, c)
+        b.output(n, name="y")
+        nl = b.build()
+        red = reduce_netlist(nl, {a: 1})
+        assert red.netlist.driver(n).cell.name == "BUF"
+
+    def test_xor_parity_flip(self):
+        b = NetlistBuilder("t")
+        a, c, d = b.inputs("a", "c", "d")
+        n = b.xor(a, c, d)
+        b.output(n, name="y")
+        nl = b.build()
+        red = reduce_netlist(nl, {a: 1})
+        gate = red.netlist.driver(n)
+        assert gate.cell.name == "XNOR"  # dropped 1 inverts parity
+        red0 = reduce_netlist(nl, {a: 0})
+        assert red0.netlist.driver(n).cell.name == "XOR"
+
+    def test_mux_select_assignment(self):
+        b = NetlistBuilder("t")
+        s, a, c = b.inputs("s", "a", "c")
+        n = b.mux(s, a, c)
+        b.output(n, name="y")
+        nl = b.build()
+        red = reduce_netlist(nl, {s: 0})
+        gate = red.netlist.driver(n)
+        assert gate.cell.name == "BUF" and gate.inputs == (a,)
+
+    def test_ff_d_pin_gets_tie(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        n = b.and_(a, c)
+        b.dff(n, output="r_reg_0")
+        nl = b.build()
+        red = reduce_netlist(nl, {a: 0})  # n becomes constant 0
+        driver = red.netlist.driver(n)
+        assert driver is not None and driver.cell.name == "TIE0"
+
+    def test_assigned_po_gets_tie(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        n = b.inv(a)
+        b.netlist.add_output(n)
+        nl = b.build()
+        red = reduce_netlist(nl, {a: 0})
+        assert red.netlist.driver(n).cell.name == "TIE1"
+
+    def test_reduced_netlist_is_valid(self):
+        b = NetlistBuilder("t")
+        a, c, d = b.inputs("a", "c", "d")
+        n1 = b.nand(a, c)
+        n2 = b.nor(n1, d)
+        n3 = b.xor(n2, a)
+        b.output(n3, name="y")
+        nl = b.build()
+        red = reduce_netlist(nl, {a: 0})
+        assert validate(red.netlist).ok
+
+
+class TestSweep:
+    def test_dead_cone_removed(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        live = b.nand(a, c)
+        dead = b.nor(b.inv(a), c)
+        b.output(live, name="y")
+        nl = b.build()
+        removed = sweep_dead_logic(nl)
+        assert removed == 2
+        assert nl.driver(dead) is None
+
+    def test_ff_fanin_is_live(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        n = b.nand(a, c)
+        b.dff(n, output="r_reg_0")
+        nl = b.build()
+        assert sweep_dead_logic(nl) == 0
+
+
+# ----------------------------------------------------------------------
+# The semantic preservation property.
+# ----------------------------------------------------------------------
+
+@st.composite
+def reduction_cases(draw):
+    b = NetlistBuilder("rand")
+    inputs = list(b.inputs("i0", "i1", "i2", "i3"))
+    nets = list(inputs)
+    for _ in range(draw(st.integers(min_value=3, max_value=15))):
+        op = draw(st.sampled_from(
+            ["nand", "nor", "and_", "or_", "xor", "xnor", "inv", "mux"]
+        ))
+        if op == "inv":
+            nets.append(b.inv(draw(st.sampled_from(nets))))
+        elif op == "mux":
+            s, x, y = (draw(st.sampled_from(nets)) for _ in range(3))
+            nets.append(b.mux(s, x, y))
+        else:
+            x = draw(st.sampled_from(nets))
+            y = draw(st.sampled_from(nets))
+            if x == y:
+                continue
+            nets.append(getattr(b, op)(x, y))
+    root = nets[-1]
+    b.netlist.add_output(root)
+    seed_input = draw(st.sampled_from(inputs))
+    seed_value = draw(st.sampled_from([0, 1]))
+    return b.build(), root, seed_input, seed_value
+
+
+@given(reduction_cases())
+@settings(max_examples=80, deadline=None)
+def test_reduction_preserves_function(case):
+    """Reduced circuit == original circuit on all consistent inputs."""
+    nl, root, seed_input, seed_value = case
+    reduced = reduce_netlist(nl, {seed_input: seed_value})
+    free = [i for i in nl.primary_inputs if i != seed_input]
+    for assignment in exhaustive_inputs(free):
+        assignment[seed_input] = seed_value
+        original = evaluate_combinational(nl, assignment)[root]
+        new_values = evaluate_combinational(reduced.netlist, assignment)
+        result = new_values.get(root, reduced.values.get(root))
+        assert result == original

@@ -1,0 +1,75 @@
+"""Unit tests for the result datatypes."""
+
+import pytest
+
+from repro.core import ControlAssignment, IdentificationResult, StageTrace, Word
+
+
+class TestWord:
+    def test_basic_properties(self):
+        w = Word(("a", "b", "c"))
+        assert w.width == 3
+        assert "b" in w
+        assert "z" not in w
+        assert w.bit_set == frozenset({"a", "b", "c"})
+        assert str(w) == "{a, b, c}"
+
+    def test_order_preserved_but_equality_ordered(self):
+        assert Word(("a", "b")) != Word(("b", "a"))
+        assert Word(("a", "b")).bit_set == Word(("b", "a")).bit_set
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            Word(("a", "b", "a"))
+
+    def test_hashable_as_dict_key(self):
+        d = {Word(("a", "b")): 1}
+        assert d[Word(("a", "b"))] == 1
+
+
+class TestControlAssignment:
+    def test_of_sorts_deterministically(self):
+        a = ControlAssignment.of({"z": 1, "a": 0})
+        b = ControlAssignment.of({"a": 0, "z": 1})
+        assert a == b
+        assert a.signals == ("a", "z")
+        assert a.as_dict() == {"a": 0, "z": 1}
+
+    def test_str_format(self):
+        a = ControlAssignment.of({"U201": 0, "U221": 1})
+        assert str(a) == "U201=0, U221=1"
+
+
+class TestIdentificationResult:
+    def test_control_signals_deduplicated_in_order(self):
+        result = IdentificationResult()
+        w1, w2 = Word(("a", "b")), Word(("c", "d"))
+        result.words = [w1, w2]
+        result.control_assignments = {
+            w1: ControlAssignment.of({"s1": 0, "s2": 1}),
+            w2: ControlAssignment.of({"s2": 1, "s3": 0}),
+        }
+        assert result.control_signals == ("s1", "s2", "s3")
+
+    def test_word_of(self):
+        result = IdentificationResult()
+        result.words = [Word(("a", "b"))]
+        result.singletons = ["c"]
+        assert result.word_of("a").bits == ("a", "b")
+        assert result.word_of("c") is None
+
+    def test_all_generated_words_wraps_singletons(self):
+        result = IdentificationResult()
+        result.words = [Word(("a", "b"))]
+        result.singletons = ["c", "d"]
+        generated = result.all_generated_words()
+        assert len(generated) == 3
+        assert Word(("c",)) in generated
+
+
+class TestStageTrace:
+    def test_lines_cover_every_counter(self):
+        trace = StageTrace()
+        assert len(trace.lines()) == 8
+        trace.num_groups = 5
+        assert any("5" in line for line in trace.lines())

@@ -1,0 +1,139 @@
+"""Tests for the Table 1 accuracy metrics (Section 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.words import IdentificationResult, Word
+from repro.eval.metrics import (
+    FULL,
+    NOT_FOUND,
+    PARTIAL,
+    EvaluationMetrics,
+    evaluate,
+)
+from repro.eval.reference import ReferenceWord
+
+
+def result_with(words, singletons=()):
+    r = IdentificationResult()
+    r.words = [Word(tuple(w)) for w in words]
+    r.singletons = list(singletons)
+    return r
+
+
+def ref(*bits):
+    return ReferenceWord("w", tuple(bits))
+
+
+class TestClassification:
+    def test_fully_found_exact(self):
+        metrics = evaluate([ref("a", "b", "c")], result_with([("a", "b", "c")]))
+        assert metrics.outcomes[0].status == FULL
+        assert metrics.pct_full == 100.0
+
+    def test_fully_found_with_extra_bits(self):
+        """Extra bits in the generated word do not disqualify (paper def)."""
+        metrics = evaluate(
+            [ref("a", "b")], result_with([("x", "a", "b", "y")])
+        )
+        assert metrics.outcomes[0].status == FULL
+
+    def test_not_found_when_all_bits_apart(self):
+        metrics = evaluate(
+            [ref("a", "b", "c")],
+            result_with([("a", "x"), ("b", "y")], singletons=["c"]),
+        )
+        assert metrics.outcomes[0].status == NOT_FOUND
+        assert metrics.pct_not_found == 100.0
+
+    def test_partial_when_some_bits_together(self):
+        metrics = evaluate(
+            [ref("a", "b", "c")],
+            result_with([("a", "b")], singletons=["c"]),
+        )
+        outcome = metrics.outcomes[0]
+        assert outcome.status == PARTIAL
+        assert outcome.fragments == 2
+        assert outcome.fragmentation_rate == pytest.approx(2 / 3)
+
+    def test_paper_example_eight_bit_two_pieces(self):
+        """"An 8-bit reference word split into two 4-bit generated words
+        would be fragmented into two pieces" — normalized 0.25."""
+        bits = [f"b{i}" for i in range(8)]
+        metrics = evaluate(
+            [ReferenceWord("w", tuple(bits))],
+            result_with([tuple(bits[:4]), tuple(bits[4:])]),
+        )
+        assert metrics.outcomes[0].fragmentation_rate == pytest.approx(0.25)
+
+    def test_loose_bits_count_as_fragments(self):
+        metrics = evaluate(
+            [ref("a", "b", "c", "d")],
+            result_with([("a", "b")], singletons=["c"]),  # d nowhere
+        )
+        assert metrics.outcomes[0].fragments == 3
+
+
+class TestAggregates:
+    def test_mixed_population(self):
+        refs = [ref("a", "b"), ReferenceWord("v", ("c", "d", "z")),
+                ReferenceWord("u", ("e", "f"))]
+        result = result_with(
+            [("a", "b"), ("c", "d")], singletons=["z", "e", "f"]
+        )
+        metrics = evaluate(refs, result)
+        assert metrics.num_full == 1
+        assert metrics.num_partial == 1
+        assert metrics.num_not_found == 1
+        assert metrics.pct_full == pytest.approx(100 / 3)
+        assert metrics.pct_not_found == pytest.approx(100 / 3)
+
+    def test_fragmentation_only_over_partials(self):
+        """"An average fragmentation of 0 indicates there were no
+        partially-found words"."""
+        metrics = evaluate([ref("a", "b")], result_with([("a", "b")]))
+        assert metrics.fragmentation_rate == 0.0
+
+    def test_empty_reference(self):
+        metrics = evaluate([], result_with([]))
+        assert metrics.pct_full == 0.0
+        assert metrics.num_reference_words == 0
+
+
+@given(
+    st.lists(
+        st.integers(min_value=2, max_value=10), min_size=1, max_size=6
+    ),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_status_partition_property(widths, rng):
+    """Every reference word lands in exactly one of the three states, and
+    fragmentation rates are within (0, 1] for partials."""
+    refs = []
+    all_bits = []
+    for w_index, width in enumerate(widths):
+        bits = tuple(f"w{w_index}b{i}" for i in range(width))
+        refs.append(ReferenceWord(f"w{w_index}", bits))
+        all_bits.extend(bits)
+    shuffled = list(all_bits)
+    rng.shuffle(shuffled)
+    words, singletons = [], []
+    i = 0
+    while i < len(shuffled):
+        size = rng.randint(1, 4)
+        chunk = shuffled[i : i + size]
+        if len(chunk) == 1:
+            singletons.append(chunk[0])
+        else:
+            words.append(tuple(chunk))
+        i += size
+    metrics = evaluate(refs, result_with(words, singletons))
+    assert metrics.num_full + metrics.num_partial + metrics.num_not_found == len(refs)
+    for outcome in metrics.outcomes:
+        if outcome.status == PARTIAL:
+            assert 0 < outcome.fragmentation_rate <= 1
+            assert 2 <= outcome.fragments
+        if outcome.status == FULL:
+            assert outcome.fragmentation_rate == 0.0

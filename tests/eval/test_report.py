@@ -1,0 +1,67 @@
+"""Tests for the JSON/CSV report exports."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.eval import rows_from_json, rows_to_csv, rows_to_json
+from repro.eval.table import BenchmarkRow, TechniqueRow
+
+
+def sample_rows():
+    def tech(name, full):
+        return TechniqueRow(name, full, 0.25, 10.0, 1.5, 3)
+
+    return [
+        BenchmarkRow("b03", 122, 156, 30, 7, 3.14,
+                     tech("Base", 71.4), tech("Ours", 85.7)),
+        BenchmarkRow("b04", 652, 729, 66, 9, 7.33,
+                     tech("Base", 77.8), tech("Ours", 88.9)),
+    ]
+
+
+class TestJson:
+    def test_round_trip(self):
+        rows = sample_rows()
+        back = rows_from_json(rows_to_json(rows))
+        assert back == rows
+
+    def test_structure(self):
+        payload = json.loads(rows_to_json(sample_rows()))
+        assert payload[0]["benchmark"] == "b03"
+        assert payload[0]["ours"]["pct_full"] == 85.7
+        assert payload[1]["base"]["num_control_signals"] == 3
+
+    def test_deterministic(self):
+        rows = sample_rows()
+        assert rows_to_json(rows) == rows_to_json(rows)
+
+
+class TestCsv:
+    def test_two_lines_per_benchmark(self):
+        text = rows_to_csv(sample_rows())
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 4
+        assert parsed[0]["technique"] == "Base"
+        assert parsed[1]["technique"] == "Ours"
+        assert parsed[1]["benchmark"] == "b03"
+
+    def test_values_survive(self):
+        parsed = list(csv.DictReader(io.StringIO(rows_to_csv(sample_rows()))))
+        assert float(parsed[1]["pct_full"]) == pytest.approx(85.7)
+        assert int(parsed[0]["gates"]) == 122
+
+
+class TestRunnerIntegration:
+    def test_runner_writes_files(self, tmp_path, capsys):
+        from repro.eval.runner import main
+
+        json_path = tmp_path / "rows.json"
+        csv_path = tmp_path / "rows.csv"
+        assert main(["b03", "--json", str(json_path),
+                     "--csv", str(csv_path)]) == 0
+        rows = rows_from_json(json_path.read_text())
+        assert rows[0].name == "b03"
+        assert "benchmark" in csv_path.read_text().splitlines()[0]

@@ -1,0 +1,62 @@
+"""Tests for the experiment runner and its CLI."""
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "tests")
+
+from fixtures import figure1_netlist
+
+from repro.eval.runner import main, run_benchmark, run_table1
+
+
+class TestRunBenchmark:
+    def test_produces_consistent_row(self):
+        nl, bits = figure1_netlist()
+        run = run_benchmark(nl)
+        row = run.row()
+        assert row.name == "fig1"
+        assert row.num_words == len(run.reference) == 1
+        assert row.ours.pct_full == 100.0
+        assert row.base.pct_full == 0.0
+        assert row.ours.num_control_signals == 1
+        assert row.base.num_control_signals == 0
+
+    def test_runtime_columns_populated(self):
+        nl, _ = figure1_netlist()
+        row = run_benchmark(nl).row()
+        assert row.base.time_seconds >= 0
+        assert row.ours.time_seconds >= 0
+
+
+class TestRunTable1:
+    def test_selected_benchmarks(self):
+        rows = run_table1(["b03"])
+        assert len(rows) == 1
+        assert rows[0].name == "b03"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            run_table1(["b99"])
+
+
+class TestCli:
+    def test_main_prints_table(self, capsys):
+        assert main(["b03"]) == 0
+        out = capsys.readouterr().out
+        assert "b03" in out
+        assert "Ours" in out
+
+    def test_main_accepts_depth(self, capsys):
+        assert main(["b03", "--depth", "3"]) == 0
+
+    def test_console_script_registered(self):
+        import tomllib
+
+        with open("pyproject.toml", "rb") as handle:
+            project = tomllib.load(handle)
+        assert (
+            project["project"]["scripts"]["repro-table1"]
+            == "repro.eval.runner:main"
+        )

@@ -1,0 +1,58 @@
+"""Shared netlist fixtures for the test-suite.
+
+`figure1_netlist` reconstructs the structure of the paper's Figure 1: a
+3-bit word whose bits each have two structurally similar second-level
+subtrees (selecting CODA0/CODA1 register bits via shared control U202/U255)
+and one dissimilar subtree fed by shared control signals U201 and U221.
+Assigning U201 its controlling value 0 removes every dissimilar subtree and
+makes the three fanin cones fully similar.
+"""
+
+from __future__ import annotations
+
+from repro.netlist import NetlistBuilder
+
+
+def figure1_netlist():
+    """Build the Figure-1-like circuit; returns (netlist, word_bits).
+
+    ``word_bits`` are the three D-input nets (the paper's U215, U216, U217)
+    in file order.
+    """
+    b = NetlistBuilder("fig1")
+    mode, busy, enable, sel = b.inputs("mode", "busy", "enable", "sel")
+    # Source registers (their outputs are fanin-cone leaves).
+    coda0 = [b.dff(b.input(f"d0_{i}"), output=f"CODA0_REG_{i}") for i in range(3)]
+    coda1 = [b.dff(b.input(f"d1_{i}"), output=f"CODA1_REG_{i}") for i in range(3)]
+    ru2 = [b.dff(b.input(f"d2_{i}"), output=f"RU2_REG_{i}") for i in range(3)]
+    ru3 = [b.dff(b.input(f"d3_{i}"), output=f"RU3_REG_{i}") for i in range(3)]
+
+    # Shared control cone (the red circle of Figure 1).
+    u223 = b.nor(mode, busy, output="U223")
+    u201 = b.inv(u223, output="U201")
+    u221 = b.nand(u223, enable, output="U221")
+    # Controls of the similar subtrees (U202 / U255 in the paper).
+    u202 = b.inv(sel, output="U202")
+    u255 = b.buf(sel, output="U255")
+
+    # Similar subtrees for each bit.
+    sim_a = [b.nand(u202, coda0[i]) for i in range(3)]
+    sim_b = [b.nand(u255, coda1[i]) for i in range(3)]
+    # Dissimilar subtrees: bits 0 and 1 share one shape, bit 2 another;
+    # all three contain both U201 and U221.
+    diss = []
+    for i in range(2):
+        w = b.nand(u221, ru2[i])
+        diss.append(b.nand(u201, w))
+    x2 = b.nor(u221, ru3[2])
+    diss.append(b.nand(u201, x2))
+
+    # Word roots on adjacent lines (the paper's U215, U216, U217).
+    bits = [
+        b.nand(sim_a[i], sim_b[i], diss[i], output=f"U21{5 + i}")
+        for i in range(3)
+    ]
+    b.register_word(bits, "result")
+    for i in range(3):
+        b.output(f"result_reg_{i}")
+    return b.build(), bits

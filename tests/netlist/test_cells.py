@@ -1,0 +1,217 @@
+"""Unit tests for the cell library."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netlist.cells import (
+    AND,
+    BUF,
+    CellLibrary,
+    DFF,
+    INV,
+    LIBRARY,
+    MUX,
+    NAND,
+    NOR,
+    OR,
+    TIE0,
+    TIE1,
+    XNOR,
+    XOR,
+)
+
+
+class TestEvaluate:
+    def test_buf_and_inv(self):
+        assert BUF.evaluate([0]) == 0
+        assert BUF.evaluate([1]) == 1
+        assert INV.evaluate([0]) == 1
+        assert INV.evaluate([1]) == 0
+
+    @pytest.mark.parametrize(
+        "cell,table",
+        [
+            (AND, {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+            (NAND, {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            (OR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+            (NOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+            (XOR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            (XNOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+        ],
+    )
+    def test_two_input_truth_tables(self, cell, table):
+        for inputs, expected in table.items():
+            assert cell.evaluate(list(inputs)) == expected
+
+    def test_wide_gates(self):
+        assert AND.evaluate([1, 1, 1, 1]) == 1
+        assert AND.evaluate([1, 1, 0, 1]) == 0
+        assert NAND.evaluate([1, 1, 1]) == 0
+        assert NOR.evaluate([0, 0, 0]) == 1
+        assert XOR.evaluate([1, 1, 1]) == 1
+
+    def test_mux_selects_a_when_sel_zero(self):
+        assert MUX.evaluate([0, 1, 0]) == 1
+        assert MUX.evaluate([1, 1, 0]) == 0
+
+    def test_constants(self):
+        assert TIE0.evaluate([]) == 0
+        assert TIE1.evaluate([]) == 1
+
+    def test_dff_evaluates_combinationally(self):
+        assert DFF.evaluate([1]) == 1
+
+
+class TestThreeValued:
+    def test_controlling_input_dominates_unknowns(self):
+        assert AND.evaluate([0, None]) == 0
+        assert NAND.evaluate([None, 0]) == 1
+        assert OR.evaluate([1, None]) == 1
+        assert NOR.evaluate([None, 1]) == 0
+
+    def test_unknown_when_undetermined(self):
+        assert AND.evaluate([1, None]) is None
+        assert XOR.evaluate([1, None]) is None
+        assert MUX.evaluate([None, 1, 0]) is None
+
+    def test_mux_with_unknown_select_but_equal_data(self):
+        assert MUX.evaluate([None, 1, 1]) == 1
+        assert MUX.evaluate([None, 0, 0]) == 0
+
+
+class TestControllingValues:
+    def test_and_family(self):
+        assert AND.controlling_value == 0
+        assert NAND.controlling_value == 0
+        assert AND.controlled_output == 0
+        assert NAND.controlled_output == 1
+
+    def test_or_family(self):
+        assert OR.controlling_value == 1
+        assert NOR.controlling_value == 1
+        assert OR.controlled_output == 1
+        assert NOR.controlled_output == 0
+
+    def test_no_controlling_value(self):
+        for cell in (XOR, XNOR, BUF, INV, MUX, DFF, TIE0, TIE1):
+            assert cell.controlling_value is None
+
+    @pytest.mark.parametrize("cell", [AND, NAND, OR, NOR])
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_controlling_value_forces_output(self, cell, n):
+        cv = cell.controlling_value
+        for other in itertools.product((0, 1), repeat=n - 1):
+            inputs = [cv] + list(other)
+            assert cell.evaluate(inputs) == cell.controlled_output
+
+
+class TestBackwardImplication:
+    def test_buffer_chain(self):
+        assert BUF.backward_implied_input(1) == 1
+        assert INV.backward_implied_input(1) == 0
+        assert INV.backward_implied_input(0) == 1
+
+    def test_and_or_unique_cases(self):
+        assert AND.backward_implied_input(1) == 1
+        assert AND.backward_implied_input(0) is None
+        assert NAND.backward_implied_input(0) == 1
+        assert NAND.backward_implied_input(1) is None
+        assert OR.backward_implied_input(0) == 0
+        assert NOR.backward_implied_input(1) == 0
+
+    def test_xor_never_implies(self):
+        assert XOR.backward_implied_input(0) is None
+        assert XNOR.backward_implied_input(1) is None
+
+    @pytest.mark.parametrize("cell", [AND, NAND, OR, NOR, BUF, INV])
+    @pytest.mark.parametrize("out", [0, 1])
+    def test_implication_soundness(self, cell, out):
+        """If backward implication fires, it is the only consistent input."""
+        implied = cell.backward_implied_input(out)
+        if implied is None:
+            return
+        n = max(2, cell.min_inputs)
+        if cell.max_inputs is not None:
+            n = cell.max_inputs
+        for inputs in itertools.product((0, 1), repeat=n):
+            if cell.evaluate(list(inputs)) == out:
+                assert all(v == implied for v in inputs)
+
+
+class TestArity:
+    def test_too_few_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            AND.evaluate([1])
+        with pytest.raises(ValueError):
+            MUX.evaluate([1, 0])
+
+    def test_too_many_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            BUF.evaluate([1, 0])
+        with pytest.raises(ValueError):
+            TIE0.evaluate([1])
+
+
+class TestLibrary:
+    def test_basic_lookup(self):
+        assert LIBRARY.get("NAND") is NAND
+        assert LIBRARY.get("nand") is NAND
+
+    def test_sized_names(self):
+        assert LIBRARY.get("NAND2") is NAND
+        assert LIBRARY.get("NOR3") is NOR
+        assert LIBRARY.get("AND4") is AND
+
+    def test_aliases(self):
+        assert LIBRARY.get("NOT") is INV
+        assert LIBRARY.get("MUX2") is MUX
+        assert LIBRARY.get("DFFR") is DFF
+        assert LIBRARY.get("GND") is TIE0
+        assert LIBRARY.get("VCC") is TIE1
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            LIBRARY.get("FROBNICATOR")
+
+    def test_contains(self):
+        assert "NAND3" in LIBRARY
+        assert "FROB" not in LIBRARY
+
+    def test_types_enumeration(self):
+        names = {c.name for c in LIBRARY.types()}
+        assert {"BUF", "INV", "AND", "NAND", "OR", "NOR", "XOR", "XNOR",
+                "MUX", "DFF", "TIE0", "TIE1"} == names
+
+
+@given(st.lists(st.sampled_from([0, 1]), min_size=2, max_size=6))
+def test_demorgan_property(bits):
+    """NAND(x) == INV(AND(x)) and NOR(x) == INV(OR(x)) for all inputs."""
+    assert NAND.evaluate(bits) == INV.evaluate([AND.evaluate(bits)])
+    assert NOR.evaluate(bits) == INV.evaluate([OR.evaluate(bits)])
+
+
+@given(st.lists(st.sampled_from([0, 1]), min_size=2, max_size=6))
+def test_xor_parity_property(bits):
+    assert XOR.evaluate(bits) == sum(bits) % 2
+    assert XNOR.evaluate(bits) == 1 - sum(bits) % 2
+
+
+@given(
+    st.lists(st.sampled_from([0, 1, None]), min_size=2, max_size=5),
+    st.sampled_from(["AND", "NAND", "OR", "NOR", "XOR", "XNOR"]),
+)
+def test_three_valued_is_conservative(bits, cell_name):
+    """If X-evaluation returns a value, every completion agrees with it."""
+    cell = LIBRARY.get(cell_name)
+    result = cell.evaluate(bits)
+    if result is None:
+        return
+    unknown_positions = [i for i, b in enumerate(bits) if b is None]
+    for completion in itertools.product((0, 1), repeat=len(unknown_positions)):
+        concrete = list(bits)
+        for pos, val in zip(unknown_positions, completion):
+            concrete[pos] = val
+        assert cell.evaluate(concrete) == result

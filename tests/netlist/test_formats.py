@@ -1,0 +1,176 @@
+"""Tests for the structural Verilog and .bench readers/writers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import (
+    NetlistBuilder,
+    parse_bench,
+    parse_verilog,
+    write_bench,
+    write_verilog,
+)
+from repro.netlist.bench import BenchError
+from repro.netlist.verilog import VerilogError
+
+
+def example_netlist():
+    b = NetlistBuilder("demo")
+    x, y, s = b.inputs("x", "y", "s")
+    n = b.nand(x, y)
+    q = b.dff(n, output="state_reg_0")
+    z = b.mux(s, n, q)
+    w = b.xor(z, x)
+    b.output(w, name="out")
+    return b.build()
+
+
+class TestVerilogRoundTrip:
+    def test_write_then_parse_preserves_structure(self):
+        nl = example_netlist()
+        text = write_verilog(nl)
+        back = parse_verilog(text)
+        assert back.name == nl.name
+        assert back.num_gates == nl.num_gates
+        assert back.num_ffs == nl.num_ffs
+        assert back.primary_inputs == nl.primary_inputs
+        assert back.primary_outputs == nl.primary_outputs
+        assert [g.name for g in back.gates_in_file_order()] == [
+            g.name for g in nl.gates_in_file_order()
+        ]
+
+    def test_round_trip_preserves_connectivity(self):
+        nl = example_netlist()
+        back = parse_verilog(write_verilog(nl))
+        for gate in nl.gates_in_file_order():
+            twin = back.gate(gate.name)
+            assert twin.cell.name == gate.cell.name
+            assert twin.inputs == gate.inputs
+            assert twin.output == gate.output
+
+
+class TestVerilogParsing:
+    def test_positional_connections_output_first(self):
+        nl = parse_verilog(
+            "module m (a, b, y);\n"
+            "input a; input b; output y;\n"
+            "nand g1 (y, a, b);\n"
+            "endmodule\n"
+        )
+        gate = nl.gate("g1")
+        assert gate.output == "y"
+        assert gate.inputs == ("a", "b")
+
+    def test_vector_declarations_expand(self):
+        nl = parse_verilog(
+            "module m (d, y);\n"
+            "input [2:0] d; output y;\n"
+            "AND3 g (.Z(y), .A(d[0]), .B(d[1]), .C(d[2]));\n"
+            "endmodule\n"
+        )
+        assert nl.primary_inputs == ["d_0", "d_1", "d_2"]
+        assert nl.gate("g").inputs == ("d_0", "d_1", "d_2")
+
+    def test_assign_constants_become_ties(self):
+        nl = parse_verilog(
+            "module m (y);\noutput y;\nwire t;\n"
+            "assign t = 1'b1;\nassign y = t;\nendmodule\n"
+        )
+        assert nl.driver("t").cell.name == "TIE1"
+        assert nl.driver("y").cell.name == "BUF"
+
+    def test_comments_stripped(self):
+        nl = parse_verilog(
+            "// header\nmodule m (a, y); /* block\ncomment */\n"
+            "input a; output y;\n"
+            "INV g (.Z(y), .A(a)); // trailing\nendmodule\n"
+        )
+        assert nl.num_gates == 1
+
+    def test_dff_clock_pin_ignored(self):
+        nl = parse_verilog(
+            "module m (d, clk, q);\ninput d; input clk; output q;\n"
+            "DFF r (.Q(q), .D(d), .CK(clk));\nendmodule\n"
+        )
+        assert nl.gate("r").inputs == ("d",)
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog(
+                "module m (a, y);\ninput a; output y;\n"
+                "WIDGET g (.Z(y), .A(a));\nendmodule\n"
+            )
+
+    def test_missing_output_pin_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog(
+                "module m (a, b);\ninput a; input b;\n"
+                "NAND2 g (.A(a), .B(b));\nendmodule\n"
+            )
+
+    def test_statement_before_module_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("input a;\nmodule m (a);\nendmodule\n")
+
+
+class TestBench:
+    def test_round_trip(self):
+        nl = example_netlist()
+        # .bench cannot express MUX pin order beyond our convention, but
+        # parses what we write.
+        text = write_bench(nl)
+        back = parse_bench(text)
+        assert back.num_gates == nl.num_gates
+        assert back.num_ffs == nl.num_ffs
+        assert set(back.primary_inputs) == set(nl.primary_inputs)
+
+    def test_parse_classic_format(self):
+        nl = parse_bench(
+            "# iscas-ish\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+            "n1 = NAND(a, b)\ny = NOT(n1)\ns = DFF(y)\n"
+        )
+        assert nl.num_gates == 3
+        assert nl.driver("y").cell.name == "INV"
+        assert nl.register_input_nets() == ["y"]
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(BenchError):
+            parse_bench("n1 == AND(a, b)\n")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(BenchError):
+            parse_bench("n1 = FOO(a, b)\n")
+
+
+# Property: any generated combinational netlist survives the Verilog
+# round trip bit-for-bit in structure.
+@st.composite
+def random_netlists(draw):
+    b = NetlistBuilder("rand")
+    nets = list(b.inputs("i0", "i1", "i2"))
+    n_gates = draw(st.integers(min_value=1, max_value=12))
+    for k in range(n_gates):
+        kind = draw(st.sampled_from(["nand", "nor", "xor", "inv", "mux"]))
+        if kind == "inv":
+            nets.append(b.inv(draw(st.sampled_from(nets))))
+        elif kind == "mux":
+            s, a, c = (draw(st.sampled_from(nets)) for _ in range(3))
+            nets.append(b.mux(s, a, c))
+        else:
+            x, y = draw(st.sampled_from(nets)), draw(st.sampled_from(nets))
+            nets.append(getattr(b, kind)(x, y))
+    b.output(nets[-1], name="out")
+    return b.build()
+
+
+@given(random_netlists())
+@settings(max_examples=40, deadline=None)
+def test_verilog_round_trip_property(nl):
+    back = parse_verilog(write_verilog(nl))
+    assert back.num_gates == nl.num_gates
+    for gate in nl.gates_in_file_order():
+        twin = back.gate(gate.name)
+        assert twin.cell.name == gate.cell.name
+        assert twin.inputs == gate.inputs
+        assert twin.output == gate.output

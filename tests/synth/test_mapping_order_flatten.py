@@ -1,0 +1,263 @@
+"""Unit tests for technology mapping, emission ordering, and flattening."""
+
+import pytest
+
+from repro.netlist import (
+    NAND,
+    NetlistBuilder,
+    evaluate_combinational,
+    exhaustive_inputs,
+    validate,
+)
+from repro.synth import (
+    absorb_inverters,
+    decompose_wide_gates,
+    flatten_associative,
+    inline_instance,
+    map_muxes,
+    order_for_emission,
+    register_groups,
+    tech_map,
+)
+from repro.netlist.netlist import NetlistError
+
+
+class TestDecomposeWide:
+    def test_wide_nand_becomes_tree_with_nand_root(self):
+        b = NetlistBuilder("t")
+        ins = b.inputs(*[f"i{k}" for k in range(7)])
+        n = b.nand(*ins, output="wide")
+        b.netlist.add_output("wide")
+        nl = b.build()
+        assert decompose_wide_gates(nl, max_arity=4) == 1
+        root = nl.driver("wide")
+        assert root.cell is NAND
+        assert len(root.inputs) <= 4
+        # Inner nodes are plain ANDs.
+        for net in root.inputs:
+            inner = nl.driver(net)
+            if inner is not None:
+                assert inner.cell.name == "AND"
+
+    def test_function_preserved(self):
+        b = NetlistBuilder("t")
+        ins = b.inputs(*[f"i{k}" for k in range(6)])
+        b.or_(*ins, output="wide")
+        b.netlist.add_output("wide")
+        nl = b.build()
+        reference = {
+            tuple(v.items()): evaluate_combinational(nl, v)["wide"]
+            for v in exhaustive_inputs(list(ins))
+        }
+        decompose_wide_gates(nl, max_arity=3)
+        for v in exhaustive_inputs(list(ins)):
+            assert evaluate_combinational(nl, v)["wide"] == reference[tuple(v.items())]
+
+    def test_narrow_gates_untouched(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        b.nand(a, c, output="n")
+        nl = b.build()
+        assert decompose_wide_gates(nl) == 0
+
+
+class TestMapMuxes:
+    def test_mux_becomes_three_nands(self):
+        b = NetlistBuilder("t")
+        s, a, c = b.inputs("s", "a", "c")
+        b.mux(s, a, c, output="m")
+        b.netlist.add_output("m")
+        nl = b.build()
+        assert map_muxes(nl) == 1
+        assert all(g.cell.family != "mux" for g in nl.gates())
+        assert nl.driver("m").cell is NAND
+
+    def test_select_inverter_shared(self):
+        b = NetlistBuilder("t")
+        s, a, c, d, e = b.inputs("s", "a", "c", "d", "e")
+        b.mux(s, a, c, output="m1")
+        b.mux(s, d, e, output="m2")
+        b.netlist.add_output("m1")
+        b.netlist.add_output("m2")
+        nl = b.build()
+        map_muxes(nl)
+        inverters = [
+            g for g in nl.gates()
+            if g.cell.name == "INV" and g.inputs == (s,)
+        ]
+        assert len(inverters) == 1
+
+    def test_function_preserved(self):
+        b = NetlistBuilder("t")
+        s, a, c = b.inputs("s", "a", "c")
+        b.mux(s, a, c, output="m")
+        b.netlist.add_output("m")
+        nl = b.build()
+        reference = {
+            tuple(v.items()): evaluate_combinational(nl, v)["m"]
+            for v in exhaustive_inputs(["s", "a", "c"])
+        }
+        map_muxes(nl)
+        for v in exhaustive_inputs(["s", "a", "c"]):
+            assert evaluate_combinational(nl, v)["m"] == reference[tuple(v.items())]
+
+
+class TestAssocAndAbsorb:
+    def test_and_chain_flattens(self):
+        b = NetlistBuilder("t")
+        p, q, s = b.inputs("p", "q", "s")
+        inner = b.and_(p, q)
+        b.and_(inner, s, output="w")
+        b.netlist.add_output("w")
+        nl = b.build()
+        assert flatten_associative(nl) == 1
+        assert set(nl.driver("w").inputs) == {p, q, s}
+
+    def test_shared_inner_not_flattened(self):
+        b = NetlistBuilder("t")
+        p, q, s = b.inputs("p", "q", "s")
+        inner = b.and_(p, q)
+        b.and_(inner, s, output="w")
+        b.or_(inner, s, output="v")  # second consumer of inner
+        b.netlist.add_output("w")
+        b.netlist.add_output("v")
+        nl = b.build()
+        assert flatten_associative(nl) == 0
+
+    def test_inv_of_and_becomes_nand(self):
+        b = NetlistBuilder("t")
+        p, q = b.inputs("p", "q")
+        inner = b.and_(p, q)
+        b.inv(inner, output="w")
+        b.netlist.add_output("w")
+        nl = b.build()
+        assert absorb_inverters(nl) == 1
+        gate = nl.driver("w")
+        assert gate.cell is NAND and set(gate.inputs) == {p, q}
+
+    def test_inv_of_nand_becomes_and(self):
+        b = NetlistBuilder("t")
+        p, q = b.inputs("p", "q")
+        inner = b.nand(p, q)
+        b.inv(inner, output="w")
+        b.netlist.add_output("w")
+        nl = b.build()
+        assert absorb_inverters(nl) == 1
+        assert nl.driver("w").cell.name == "AND"
+
+    def test_figure1_root_shape(self):
+        """~(p & q & s) maps to the NAND3 roots of the paper's Figure 1."""
+        b = NetlistBuilder("t")
+        p, q, s = b.inputs("p", "q", "s")
+        inner = b.and_(b.and_(p, q), s)
+        b.inv(inner, output="bit")
+        b.netlist.add_output("bit")
+        nl = tech_map(b.build())
+        gate = nl.driver("bit")
+        assert gate.cell is NAND and len(gate.inputs) == 3
+
+
+class TestEmissionOrdering:
+    def test_word_roots_become_adjacent(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        roots = []
+        for i in range(3):
+            # Interleave cone gates between the roots.
+            deep = b.xor(a, c)
+            roots.append(b.nand(deep, c))
+        for i, root in enumerate(roots):
+            b.dff(root, output=f"w_reg_{i}")
+        nl = order_for_emission(b.build())
+        names = [g.output for g in nl.gates_in_file_order()]
+        positions = [names.index(r) for r in roots]
+        assert positions == list(range(positions[0], positions[0] + 3))
+
+    def test_ffs_grouped_by_register(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        b.dff(b.nand(a, c), output="x_reg_0")
+        b.dff(b.nor(a, c), output="y_reg_0")
+        b.dff(b.nand(c, a), output="x_reg_1")
+        nl = order_for_emission(b.build())
+        ff_outputs = [g.output for g in nl.flip_flops()]
+        assert ff_outputs == ["x_reg_0", "x_reg_1", "y_reg_0"]
+
+    def test_groups_parse_names(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        b.dff(b.inv(a), output="cnt_reg_1")
+        b.dff(b.buf(a), output="cnt_reg_0")
+        b.dff(b.inv(a), output="odd_name")
+        nl = b.build()
+        groups = dict(
+            (reg, [g.output for g in ffs])
+            for reg, ffs in register_groups(nl)
+        )
+        assert groups["cnt"] == ["cnt_reg_0", "cnt_reg_1"]
+        assert groups["odd_name"] == ["odd_name"]
+
+    def test_reordering_preserves_everything_else(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        n = b.nand(a, c)
+        b.dff(n, output="r_reg_0")
+        b.output(n, name="y")
+        nl = b.build()
+        ordered = order_for_emission(nl)
+        assert validate(ordered).ok
+        assert ordered.num_gates == nl.num_gates
+        assert ordered.primary_outputs == nl.primary_outputs
+
+
+class TestInlineInstance:
+    def child(self):
+        b = NetlistBuilder("child")
+        a, c = b.inputs("a", "c")
+        n = b.nand(a, c)
+        b.dff(n, output="state_reg_0")
+        b.output(n, name="result")
+        return b.build()
+
+    def test_nets_and_gates_prefixed(self):
+        from repro.netlist import Netlist
+
+        parent = Netlist("top")
+        parent.add_input("x")
+        outputs = inline_instance(parent, self.child(), "u1", {"a": "x"})
+        assert "u1_state_reg_0" in {g.output for g in parent.gates()}
+        assert outputs["result"] == "u1_result"
+        # Unmapped child input became a prefixed parent input.
+        assert "u1_c" in parent.primary_inputs
+
+    def test_register_names_survive_for_reference_extraction(self):
+        from repro.eval import extract_reference_words
+        from repro.netlist import Netlist
+
+        b = NetlistBuilder("child")
+        a, c = b.inputs("a", "c")
+        bits = [b.nand(a, c), b.nand(c, a)]
+        for i, d in enumerate(bits):
+            b.dff(d, output=f"count_reg_{i}")
+        child = b.build()
+        parent = Netlist("top")
+        inline_instance(parent, child, "core3", {})
+        words = extract_reference_words(parent)
+        assert words[0].register == "core3_count"
+
+    def test_bad_port_rejected(self):
+        from repro.netlist import Netlist
+
+        parent = Netlist("top")
+        with pytest.raises(NetlistError):
+            inline_instance(parent, self.child(), "u1", {"nope": "x"})
+
+    def test_two_instances_coexist(self):
+        from repro.netlist import Netlist
+
+        parent = Netlist("top")
+        child = self.child()
+        inline_instance(parent, child, "u1", {})
+        inline_instance(parent, child, "u2", {})
+        assert validate(parent, require_driven_outputs=False).ok
+        assert parent.num_ffs == 2

@@ -1,0 +1,249 @@
+"""Unit tests for the netlist optimization passes."""
+
+import pytest
+
+from repro.netlist import (
+    AND,
+    BUF,
+    INV,
+    NAND,
+    NetlistBuilder,
+    OR,
+    evaluate_combinational,
+    exhaustive_inputs,
+    validate,
+)
+from repro.synth import (
+    cleanup_buffers,
+    cleanup_double_inverters,
+    fold_constants,
+    optimize,
+    simplify_mux_constants,
+    strash,
+)
+from repro.synth.optimize import simplify_duplicate_inputs
+
+
+class TestFoldConstants:
+    def test_tie_through_and(self):
+        b = NetlistBuilder("t")
+        one = b.const1()
+        a = b.input("a")
+        n = b.and_(one, a)
+        out = b.nand(n, a)
+        b.output(out, name="y")
+        nl = fold_constants(b.build())
+        # AND(1, a) collapses to BUF(a).
+        assert nl.driver(n).cell.family == "buf"
+
+    def test_controlling_constant_kills_cone(self):
+        b = NetlistBuilder("t")
+        zero = b.const0()
+        a, c = b.inputs("a", "c")
+        dead = b.and_(zero, a)
+        out = b.or_(dead, c)
+        b.output(out, name="y")
+        nl = fold_constants(b.build())
+        assert nl.driver(dead) is None  # removed with its constant
+        assert nl.driver(out).cell.family == "buf"
+
+    def test_no_constants_is_identity(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        n = b.nand(a, c)
+        b.output(n, name="y")
+        original = b.build()
+        folded = fold_constants(original)
+        assert folded.num_gates == original.num_gates
+
+
+class TestMuxConstants:
+    @pytest.mark.parametrize(
+        "const_arm,const_val,expected_family",
+        [("a", 0, "and"), ("a", 1, "or"), ("b", 0, "and"), ("b", 1, "or")],
+    )
+    def test_rewrites_preserve_function(self, const_arm, const_val, expected_family):
+        b = NetlistBuilder("t")
+        s, d = b.inputs("s", "d")
+        const = b.const1() if const_val else b.const0()
+        if const_arm == "a":
+            n = b.mux(s, const, d)
+        else:
+            n = b.mux(s, d, const)
+        b.output(n, name="y")
+        nl = b.build()
+        reference = {
+            tuple(sorted(vals.items())): evaluate_combinational(nl, vals)[n]
+            for vals in exhaustive_inputs(["s", "d"])
+        }
+        assert simplify_mux_constants(nl) == 1
+        assert nl.driver(n).cell.family == expected_family
+        for vals in exhaustive_inputs(["s", "d"]):
+            assert (
+                evaluate_combinational(nl, vals)[n]
+                == reference[tuple(sorted(vals.items()))]
+            )
+
+    def test_both_arms_constant(self):
+        b = NetlistBuilder("t")
+        s = b.input("s")
+        n = b.mux(s, b.const0(), b.const1())  # s ? 1 : 0 == s
+        b.output(n, name="y")
+        nl = b.build()
+        simplify_mux_constants(nl)
+        assert nl.driver(n).cell.family == "buf"
+        assert not nl.driver(n).cell.inverted
+
+
+class TestStrash:
+    def test_identical_gates_merge(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        n1 = b.nand(a, c)
+        n2 = b.nand(a, c)
+        out = b.and_(n1, n2)
+        b.output(out, name="y")
+        nl = b.build()
+        assert strash(nl) == 1
+        assert nl.driver(n2) is None
+        # The consumer now reads n1 twice.
+        assert nl.driver(out).inputs == (n1, n1)
+
+    def test_commutative_inputs_merge(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        n1 = b.nand(a, c)
+        n2 = b.nand(c, a)
+        b.and_(n1, n2, output="y")
+        b.netlist.add_output("y")
+        nl = b.build()
+        assert strash(nl) == 1
+
+    def test_mux_input_order_not_commuted(self):
+        b = NetlistBuilder("t")
+        s, a, c = b.inputs("s", "a", "c")
+        n1 = b.mux(s, a, c)
+        n2 = b.mux(s, c, a)  # different function!
+        b.xor(n1, n2, output="y")
+        b.netlist.add_output("y")
+        nl = b.build()
+        assert strash(nl) == 0
+
+    def test_merges_cascade(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        n1 = b.nand(a, c)
+        n2 = b.nand(a, c)
+        m1 = b.inv(n1)
+        m2 = b.inv(n2)
+        b.and_(m1, m2, output="y")
+        b.netlist.add_output("y")
+        nl = b.build()
+        assert strash(nl) == 2  # second nand AND second inv
+
+    def test_po_duplicate_kept_as_buffer(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        n1 = b.nand(a, c)
+        n2 = b.nand(a, c, output="named_po")
+        b.netlist.add_output("named_po")
+        b.netlist.add_output(n1)
+        nl = b.build()
+        strash(nl)
+        assert nl.driver("named_po").cell is BUF
+
+
+class TestCleanups:
+    def test_buffer_bypass(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        buffered = b.buf(a)
+        n = b.nand(buffered, c)
+        b.netlist.add_output(n)
+        nl = b.build()
+        assert cleanup_buffers(nl) == 1
+        assert nl.driver(n).inputs == (a, c)
+
+    def test_po_buffer_kept(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        b.output(b.inv(a), name="y")  # output() adds a BUF named y
+        nl = b.build()
+        assert cleanup_buffers(nl) == 0
+
+    def test_double_inverter_collapse(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        n = b.inv(b.inv(a))
+        out = b.nand(n, c)
+        b.netlist.add_output(out)
+        nl = b.build()
+        assert cleanup_double_inverters(nl) == 1
+        assert nl.driver(out).inputs == (a, c)
+
+    def test_duplicate_and_inputs_dedupe(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        n = b.netlist.add_gate("g", AND, [a, a, c], "n")
+        b.netlist.add_output("n")
+        nl = b.build()
+        assert simplify_duplicate_inputs(nl) == 1
+        assert nl.gate("g").inputs == (a, c)
+
+    def test_xor_pair_cancels_to_constant(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        b.xor(a, a, output="n")
+        b.netlist.add_output("n")
+        nl = b.build()
+        simplify_duplicate_inputs(nl)
+        assert nl.driver("n").cell.name == "TIE0"
+
+    def test_xnor_pair_cancels_to_one(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        b.xnor(a, a, output="n")
+        b.netlist.add_output("n")
+        nl = b.build()
+        simplify_duplicate_inputs(nl)
+        assert nl.driver("n").cell.name == "TIE1"
+
+    def test_xor_odd_survivor_becomes_buffer(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        b.xor(a, a, c, output="n")
+        b.netlist.add_output("n")
+        nl = b.build()
+        simplify_duplicate_inputs(nl)
+        gate = nl.driver("n")
+        assert gate.cell is BUF or gate.cell.family == "buf"
+        assert gate.inputs == (c,)
+
+
+class TestOptimizePipeline:
+    def test_runs_to_fixpoint_and_stays_valid(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs("a", "c")
+        one = b.const1()
+        n1 = b.and_(one, a)
+        n2 = b.and_(one, a)  # duplicate after folding
+        m = b.mux(c, n1, b.const0())
+        out = b.nand(m, n2)
+        b.output(out, name="y")
+        nl = optimize(b.build())
+        assert validate(nl).ok
+        # Everything collapses to a couple of gates.
+        assert nl.num_gates <= 4
+
+    def test_optimization_preserves_function(self):
+        b = NetlistBuilder("t")
+        a, c, d = b.inputs("a", "c", "d")
+        one = b.const1()
+        n = b.mux(d, b.and_(a, one), b.const0())
+        out = b.xor(n, b.xor(c, c))
+        b.output(out, name="y")
+        nl = b.build()
+        optimized = optimize(nl.copy())
+        for vals in exhaustive_inputs(["a", "c", "d"]):
+            expected = evaluate_combinational(nl, vals)["y"]
+            assert evaluate_combinational(optimized, vals)["y"] == expected

@@ -1,0 +1,160 @@
+"""Tests for the RTL IR: construction, width checking, module validation."""
+
+import pytest
+
+from repro.synth import (
+    Binary,
+    Compare,
+    Concat,
+    Const,
+    InputRef,
+    Module,
+    Mux,
+    Reduce,
+    RegRef,
+    RtlError,
+    Slice,
+    Unary,
+)
+
+
+class TestExprConstruction:
+    def test_const_range_checked(self):
+        Const(3, 2)
+        with pytest.raises(RtlError):
+            Const(4, 2)
+        with pytest.raises(RtlError):
+            Const(0, 0)
+
+    def test_const_bit_value(self):
+        c = Const(0b1010, 4)
+        assert [c.bit_value(i) for i in range(4)] == [0, 1, 0, 1]
+
+    def test_binary_width_mismatch(self):
+        a = InputRef("a", 4)
+        b = InputRef("b", 5)
+        with pytest.raises(RtlError):
+            Binary("add", a, b)
+
+    def test_operator_sugar(self):
+        a = InputRef("a", 4)
+        b = InputRef("b", 4)
+        assert (a & b).op == "and"
+        assert (a | b).op == "or"
+        assert (a ^ b).op == "xor"
+        assert (a + b).op == "add"
+        assert (a - b).op == "sub"
+        assert isinstance(~a, Unary)
+        assert a.eq(b).width == 1
+        assert a.lt(b).op == "lt"
+
+    def test_unknown_ops_rejected(self):
+        a = InputRef("a", 2)
+        with pytest.raises(RtlError):
+            Binary("mul", a, a)
+        with pytest.raises(RtlError):
+            Compare("ge", a, a)
+        with pytest.raises(RtlError):
+            Reduce("nand", a)
+
+    def test_mux_width_rules(self):
+        sel = InputRef("s", 1)
+        a = InputRef("a", 4)
+        b = InputRef("b", 4)
+        assert Mux(sel, a, b).width == 4
+        with pytest.raises(RtlError):
+            Mux(a, a, b)  # wide select
+        with pytest.raises(RtlError):
+            Mux(sel, a, InputRef("c", 3))
+
+    def test_slice_bounds(self):
+        a = InputRef("a", 8)
+        assert a.slice(2, 5).width == 4
+        assert a.bit(7).width == 1
+        with pytest.raises(RtlError):
+            a.slice(5, 2)
+        with pytest.raises(RtlError):
+            a.slice(0, 8)
+
+    def test_concat_width(self):
+        a = InputRef("a", 3)
+        b = InputRef("b", 5)
+        assert Concat((a, b)).width == 8
+        with pytest.raises(RtlError):
+            Concat(())
+
+    def test_reductions_are_one_bit(self):
+        a = InputRef("a", 6)
+        assert a.any().width == 1
+        assert a.all().op == "and"
+        assert a.parity().op == "xor"
+
+
+class TestModule:
+    def test_register_roundtrip(self):
+        m = Module("t")
+        a = m.input("a", 4)
+        r = m.register("r", 4)
+        r.next = a
+        m.output("o", r.ref())
+        m.check()
+
+    def test_missing_next_rejected(self):
+        m = Module("t")
+        m.register("r", 4)
+        with pytest.raises(RtlError):
+            m.check()
+
+    def test_width_mismatch_rejected(self):
+        m = Module("t")
+        a = m.input("a", 3)
+        r = m.register("r", 4)
+        r.next = Concat((a, Const(0, 1)))
+        m.check()
+        r.next = a
+        with pytest.raises(RtlError):
+            m.check()
+
+    def test_unknown_input_ref_rejected(self):
+        m = Module("t")
+        r = m.register("r", 2)
+        r.next = InputRef("ghost", 2)
+        with pytest.raises(RtlError):
+            m.check()
+
+    def test_unknown_register_ref_rejected(self):
+        m = Module("t")
+        m.input("a", 2)
+        r = m.register("r", 2)
+        r.next = RegRef("ghost", 2)
+        with pytest.raises(RtlError):
+            m.check()
+
+    def test_reset_needs_reset_input(self):
+        m = Module("t")  # no reset input declared
+        a = m.input("a", 2)
+        r = m.register("r", 2, reset=0)
+        r.next = a
+        with pytest.raises(RtlError):
+            m.check()
+
+    def test_reset_value_must_fit(self):
+        m = Module("t", reset_input="rst")
+        a = m.input("a", 2)
+        r = m.register("r", 2, reset=7)
+        r.next = a
+        with pytest.raises(RtlError):
+            m.check()
+
+    def test_duplicate_register_rejected(self):
+        m = Module("t")
+        m.register("r", 2)
+        with pytest.raises(RtlError):
+            m.register("r", 3)
+
+    def test_input_redeclared_with_new_width_rejected(self):
+        m = Module("t")
+        m.input("a", 2)
+        m.input("a", 2)  # same width ok
+        with pytest.raises(RtlError):
+            m.input("a", 3)

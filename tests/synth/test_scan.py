@@ -1,0 +1,105 @@
+"""Unit tests for scan-chain insertion."""
+
+import pytest
+
+from repro.netlist import NetlistBuilder, Simulator, validate
+from repro.netlist.netlist import NetlistError
+from repro.synth import order_for_emission
+from repro.synth.scan import insert_scan_chain
+
+
+def small_design():
+    b = NetlistBuilder("t")
+    a, c = b.inputs("a", "c")
+    b.dff(b.nand(a, c), output="r_reg_0")
+    b.dff(b.xor(a, c), output="r_reg_1")
+    b.dff(b.nor(a, "r_reg_0"), output="s_reg_0")
+    b.output("s_reg_0")
+    return b.build()
+
+
+class TestInsertion:
+    def test_netlist_stays_valid(self):
+        nl = small_design()
+        insert_scan_chain(nl)
+        assert validate(nl).ok
+
+    def test_ports_created(self):
+        nl = small_design()
+        spec = insert_scan_chain(nl)
+        assert "scan_enable" in nl.primary_inputs
+        assert "scan_in" in nl.primary_inputs
+        assert spec.scan_out in nl.primary_outputs
+
+    def test_chain_covers_all_ffs(self):
+        nl = small_design()
+        spec = insert_scan_chain(nl)
+        assert len(spec.chain) == 3
+
+    def test_every_d_pin_muxed(self):
+        nl = small_design()
+        insert_scan_chain(nl)
+        for ff in nl.flip_flops():
+            driver = nl.driver(ff.inputs[0])
+            assert driver.name.startswith("_scan_m")
+
+    def test_single_shared_enable_inverter(self):
+        nl = small_design()
+        insert_scan_chain(nl)
+        inverters = [
+            g for g in nl.gates()
+            if g.cell.name == "INV" and g.inputs == ("scan_enable",)
+        ]
+        assert len(inverters) == 1
+
+    def test_no_ffs_rejected(self):
+        b = NetlistBuilder("comb")
+        a, c = b.inputs("a", "c")
+        b.output(b.nand(a, c), name="y")
+        with pytest.raises(NetlistError):
+            insert_scan_chain(b.build())
+
+    def test_name_collision_rejected(self):
+        nl = small_design()
+        nl.add_input("scan_enable")
+        with pytest.raises(NetlistError):
+            insert_scan_chain(nl)
+
+
+class TestBehaviour:
+    def test_functional_mode_unchanged(self):
+        """scan_enable=0: the circuit behaves exactly as before."""
+        clean = small_design()
+        scanned = clean.copy()
+        insert_scan_chain(scanned)
+        sim_clean = Simulator(clean)
+        sim_scan = Simulator(scanned)
+        sim_clean.reset(0)
+        sim_scan.reset(0)
+        for stim in ({"a": 1, "c": 0}, {"a": 1, "c": 1}, {"a": 0, "c": 1}):
+            state_clean = sim_clean.clock(stim)
+            scan_stim = dict(stim, scan_enable=0, scan_in=0)
+            state_scan = sim_scan.clock(scan_stim)
+            for net, value in state_clean.items():
+                assert state_scan[net] == value
+
+    def test_shift_mode_moves_data_down_the_chain(self):
+        """scan_enable=1: the registers form a shift register."""
+        nl = small_design()
+        spec = insert_scan_chain(nl)
+        sim = Simulator(nl)
+        sim.reset(0)
+        pattern = [1, 0, 1]
+        for bit in pattern:
+            sim.clock({"a": 0, "c": 0, "scan_enable": 1, "scan_in": bit})
+        # After len(chain) shifts the first bit reached the last FF.
+        chain_q = [nl.gate(name).output for name in spec.chain]
+        values = [sim.state[q] for q in chain_q]
+        assert values == list(reversed(pattern))
+
+    def test_reorder_after_scan_keeps_netlist_valid(self):
+        nl = small_design()
+        insert_scan_chain(nl)
+        ordered = order_for_emission(nl)
+        assert validate(ordered).ok
+        assert ordered.num_gates == nl.num_gates

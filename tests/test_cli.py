@@ -1,0 +1,93 @@
+"""Tests for the repro-identify command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.netlist import write_bench, write_verilog
+from repro.synth.designs import BENCHMARKS
+
+
+@pytest.fixture(scope="module")
+def verilog_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "b03.v"
+    path.write_text(write_verilog(BENCHMARKS["b03"]()))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def bench_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "b03.bench"
+    path.write_text(write_bench(BENCHMARKS["b03"]()))
+    return str(path)
+
+
+class TestBasics:
+    def test_identify_verilog(self, verilog_path, capsys):
+        assert main([verilog_path]) == 0
+        out = capsys.readouterr().out
+        assert "control-signal technique" in out
+        assert "relevant control signals" in out
+
+    def test_bench_format_by_suffix(self, bench_path, capsys):
+        assert main([bench_path]) == 0
+        assert "words" in capsys.readouterr().out
+
+    def test_baseline_flag(self, verilog_path, capsys):
+        assert main([verilog_path, "--baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "shape hashing [6]" in out
+        assert "[via" not in out
+
+    def test_score_flag(self, verilog_path, capsys):
+        assert main([verilog_path, "--score"]) == 0
+        out = capsys.readouterr().out
+        assert "score vs 7 golden words: 85.7% full" in out
+
+    def test_trace_flag(self, verilog_path, capsys):
+        assert main([verilog_path, "--trace"]) == 0
+        assert "first-level groups" in capsys.readouterr().out
+
+    def test_propagate_flag(self, verilog_path, capsys):
+        assert main([verilog_path, "--propagate"]) == 0
+        assert "propagation derived" in capsys.readouterr().out
+
+
+class TestJson:
+    def test_json_to_stdout(self, verilog_path, capsys):
+        assert main([verilog_path, "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["netlist"]["name"] == "b03"
+        assert payload["config"]["technique"] == "ours"
+        assert any(payload["control_assignments"])
+
+    def test_json_to_file(self, verilog_path, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        assert main([verilog_path, "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["netlist"]["gates"] > 0
+        assert isinstance(payload["words"], list)
+
+    def test_propagated_words_in_json(self, verilog_path, capsys):
+        assert main([verilog_path, "--propagate", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert "propagated_words" in payload
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent/design.v"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_unparseable_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.v"
+        bad.write_text("this is not verilog")
+        assert main([str(bad)]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_config_flags_forwarded(self, verilog_path, capsys):
+        assert main([verilog_path, "--depth", "3",
+                     "--max-simultaneous", "1"]) == 0

@@ -1,0 +1,65 @@
+"""Smoke tests: every example script runs and tells its story."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "golden reference words" in out
+    assert "shape hashing [6]" in out
+    assert "control-signal technique" in out
+
+
+def test_quickstart_trace():
+    out = run_example("quickstart.py", "--trace")
+    assert "stage trace (Figure 2)" in out
+    assert "control signals found (Sec 2.4)" in out
+
+
+def test_figure1_case_study():
+    out = run_example("figure1_case_study.py")
+    assert "U201 (feasible values (0,))" in out
+    assert "{U215, U216, U217}" in out
+    assert "shape hashing [6] : ['{U215, U216}']" in out
+
+
+def test_trojan_hunt():
+    out = run_example("trojan_hunt.py")
+    assert "adversary inserts a Trojan" in out
+    assert "trojan nets absorbed into architectural words: 0/" in out
+
+
+def test_compare_baseline():
+    out = run_example("compare_baseline.py", "b03")
+    assert "b03" in out
+    assert "FULL" in out
+
+
+def test_compare_baseline_list():
+    out = run_example("compare_baseline.py", "--list")
+    assert "b03" in out and "b18" in out
+
+
+def test_full_reverse_engineering():
+    out = run_example("full_reverse_engineering.py")
+    assert "step 1 — word identification" in out
+    assert "step 2 — word propagation" in out
+    assert "step 3 — operator recognition" in out
+    assert "'add'" in out and "(verified)" in out
