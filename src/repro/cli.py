@@ -7,6 +7,9 @@ This is the tool a downstream user actually runs::
     repro-identify design.v --baseline           # shape hashing only
     repro-identify design.v --json report.json   # machine-readable output
     repro-identify design.v --depth 5 --max-simultaneous 3
+    repro-identify design.v --jobs 4             # parallel subgroup search
+    repro-identify design.v --trace              # stage timings + caches
+    repro-identify design.v --trace-json t.json  # machine-readable trace
     repro-identify design.v --propagate          # + word propagation
     repro-identify design.v --score              # vs golden register names
 
@@ -75,7 +78,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="score against golden words from *_reg_<i> register names",
     )
     parser.add_argument(
-        "--trace", action="store_true", help="print the per-stage trace"
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads for the per-subgroup assignment search "
+        "(default 1; any value yields identical results)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the per-stage trace: counters, timings, cache hit rates",
+    )
+    parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help="write the machine-readable stage trace ('-' for stdout)",
     )
     parser.add_argument(
         "--json",
@@ -120,6 +138,7 @@ def _report(
             "technique": "base" if args.baseline else "ours",
             "depth": args.depth,
             "max_simultaneous": args.max_simultaneous,
+            "jobs": args.jobs,
         },
         "words": [list(w.bits) for w in result.words],
         "control_signals": list(result.control_signals),
@@ -128,6 +147,7 @@ def _report(
             for word, assignment in result.control_assignments.items()
         ],
         "runtime_seconds": result.runtime_seconds,
+        "trace": result.trace.as_dict(),
     }
     if derived is not None:
         report["propagated_words"] = [list(w.bits) for w in derived]
@@ -147,6 +167,9 @@ def _report(
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     try:
         netlist = _load(args.netlist, args.format)
     except OSError as exc:
@@ -160,6 +183,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         depth=args.depth,
         max_simultaneous=args.max_simultaneous,
         allow_partial=not args.baseline,
+        jobs=args.jobs,
     )
     if args.baseline:
         result = shape_hashing(netlist, config)
@@ -216,8 +240,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
 
     if args.trace:
-        for line in result.trace.lines():
+        for line in result.trace.extended_lines():
             print(f"  {line}")
+
+    if args.trace_json is not None:
+        payload = json.dumps(result.trace.as_dict(), indent=2)
+        if args.trace_json == "-":
+            print(payload)
+        else:
+            with open(args.trace_json, "w") as handle:
+                handle.write(payload + "\n")
 
     if args.json is not None:
         payload = json.dumps(

@@ -10,6 +10,7 @@ stages the paper motivates are implemented as well: :mod:`propagation`
 """
 
 from .baseline import baseline_config, shape_hashing
+from .context import AnalysisContext
 from .control import ControlSignalCandidate, find_control_signals
 from .explain import ControlExplanation, explain_control_signal, explain_controls
 from .functional import (
@@ -26,6 +27,7 @@ from .matching import (
     Subgroup,
     compare_bits,
     form_subgroups,
+    full_match_runs,
 )
 from .modules import OperatorMatch, identify_operators
 from .pipeline import PipelineConfig, identify_words
@@ -37,14 +39,23 @@ from .reduction import (
     reduce_netlist,
     sweep_dead_logic,
 )
-from .words import ControlAssignment, IdentificationResult, StageTrace, Word
+from .stages import AnalysisEngine, default_stages
+from .words import (
+    CacheStats,
+    ControlAssignment,
+    IdentificationResult,
+    StageTrace,
+    Word,
+)
 
 __all__ = [
     "baseline_config", "shape_hashing",
+    "AnalysisContext", "AnalysisEngine", "default_stages",
     "ControlSignalCandidate", "find_control_signals",
     "group_by_adjacency", "group_register_inputs", "root_type_of",
     "BitSignature", "SignatureIndex", "Subtree", "hash_key", "signature_of",
     "MatchKind", "PairMatch", "Subgroup", "compare_bits", "form_subgroups",
+    "full_match_runs", "CacheStats",
     "ControlExplanation", "explain_control_signal", "explain_controls",
     "FunctionalRefinement", "functional_signature", "refine_result",
     "refine_words",

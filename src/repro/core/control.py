@@ -18,12 +18,21 @@ controlling values of the gates it feeds inside the dissimilar subtrees
 (Section 2.5 assigns "the controlling value to one of the logic gates that
 the control signal is feeding into").  A signal feeding only XOR-family
 gates has no controlling value and is dropped.
+
+The stage runs in two phases.  Phase one intersects the subtrees' *net
+sets*; most subgroups have no common net at all and stop here.  With an
+:class:`~repro.core.context.AnalysisContext` the net sets come from a
+``(net, levels)``-memoized index shared across every subgroup — no cone
+tree is materialized for the common case.  Phase two, reached only when
+the intersection is non-empty, walks the (few) dissimilar cones once to
+collect candidate order, controlling values, and the domination test of
+step 2.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..netlist.cone import ConeNode
 from .matching import Subgroup
@@ -39,95 +48,130 @@ class ControlSignalCandidate:
     values: Tuple[int, ...]
 
 
-def _cone_net_sets(cone: ConeNode) -> Tuple[Set[str], Dict[str, Set[str]]]:
-    """Nets in a subtree plus, per net, the nets strictly below it.
+def _node_nets(node: ConeNode, cache: dict) -> frozenset:
+    """Net names of a cone subtree, memoized by node identity.
 
-    The per-net descendant sets implement the "in the fanin cone of" test of
-    step 2 without re-traversing the netlist: the subtree already contains
-    the only structure the stage is allowed to look at.
+    ``cache`` maps ``id(node) -> (node, frozenset)``; the node reference
+    pins the object so CPython cannot recycle its id.  With DAG-shared
+    cones (an :class:`~repro.core.context.AnalysisContext` cache) shared
+    subtrees are summarized once across every cone containing them.
     """
-    all_nets: Set[str] = set()
-    descendants: Dict[str, Set[str]] = {}
-
-    def visit(node: ConeNode) -> Set[str]:
-        all_nets.add(node.net)
-        below: Set[str] = set()
+    entry = cache.get(id(node))
+    if entry is not None and entry[0] is node:
+        return entry[1]
+    if node.is_leaf:
+        nets = frozenset((node.net,))
+    else:
+        acc = {node.net}
         for child in node.children:
-            below.add(child.net)
-            below |= visit(child)
-        descendants.setdefault(node.net, set()).update(below)
-        return below
-
-    visit(cone)
-    return all_nets, descendants
+            acc.update(_node_nets(child, cache))
+        nets = frozenset(acc)
+    cache[id(node)] = (node, nets)
+    return nets
 
 
-def _controlling_values(cone: ConeNode, signal: str) -> Set[int]:
-    """Controlling values of gates that ``signal`` feeds inside ``cone``."""
-    values: Set[int] = set()
-    for node in cone.walk():
-        if node.is_leaf:
-            continue
-        if any(child.net == signal for child in node.children):
-            cv = node.gate.cell.controlling_value
-            if cv is not None:
-                values.add(cv)
-    return values
-
-
-def find_control_signals(subgroup: Subgroup) -> List[ControlSignalCandidate]:
+def find_control_signals(
+    subgroup: Subgroup, context=None
+) -> List[ControlSignalCandidate]:
     """Identify the relevant control signals of a partially-matched subgroup.
 
     Returns candidates in deterministic discovery order (bit order, then
-    pre-order position within each dissimilar subtree).
+    pre-order position within each dissimilar subtree).  ``context`` — an
+    optional :class:`~repro.core.context.AnalysisContext`, expected to be
+    the one that produced the subgroup's signatures — shares net-set and
+    cone caches across subgroups.
     """
-    cones: List[ConeNode] = []
+    subtrees = []
     for sig in subgroup.signatures:
         for root in subgroup.dissimilar.get(sig.net, ()):
             for subtree in sig.subtrees:
                 if subtree.root_net == root:
-                    cones.append(subtree.cone)
+                    subtrees.append(subtree)
                     break
-    if not cones:
+    if not subtrees:
         return []
 
-    net_sets: List[Set[str]] = []
-    descendant_maps: List[Dict[str, Set[str]]] = []
-    for cone in cones:
-        nets, descendants = _cone_net_sets(cone)
-        net_sets.append(nets)
-        descendant_maps.append(descendants)
+    # Phase one: intersect net sets, stopping at the first empty running
+    # intersection — for most subgroups that happens within the first few
+    # subtrees, before the remaining net sets are even computed (and, with
+    # a context, before any cone tree is built).
+    cones: Optional[List[ConeNode]] = None
+    common: Optional[Set[str]] = None
+    if context is not None:
+        levels = context.depth - 1
+        node_nets_cache = context.node_cache("cone_nets")
+        for st in subtrees:
+            nets = context.cone_nets(st.root_net, levels)
+            if common is None:
+                common = set(nets)
+            else:
+                common &= nets
+                if not common:
+                    return []
+    else:
+        node_nets_cache = {}
+        cones = []
+        for st in subtrees:
+            cone = st.cone
+            cones.append(cone)
+            nets = _node_nets(cone, node_nets_cache)
+            if common is None:
+                common = set(nets)
+            else:
+                common &= nets
+                if not common:
+                    return []
 
-    common: Set[str] = set.intersection(*net_sets)
     # The subtree roots themselves are bit-specific wires, not controls; a
     # net can only be common to all subtrees if it is not any cone's root,
     # but guard anyway.
-    common -= {cone.net for cone in cones}
+    common -= {st.root_net for st in subtrees}
     if not common:
         return []
 
-    # Step 2: drop nets dominated by another common net's fanin cone.
-    dominated: Set[str] = set()
-    for net in common:
-        for other in common:
-            if other == net:
-                continue
-            if any(net in dmap.get(other, ()) for dmap in descendant_maps):
-                dominated.add(net)
-                break
-    survivors = common - dominated
-
+    # Phase two: walk each dissimilar cone once, collecting — for common
+    # nets only — first-visit order, controlling values of the gates they
+    # feed, and the nets strictly below their occurrences (the "in the
+    # fanin cone of" data for step 2's domination test).
+    if cones is None:
+        cones = [st.cone for st in subtrees]
     ordered: List[str] = []
+    seen: Set[str] = set()
+    controlling: Dict[str, Set[int]] = {}
+    below: Dict[str, Set[str]] = {}
     for cone in cones:
         for node in cone.walk():
-            if node.net in survivors and node.net not in ordered:
-                ordered.append(node.net)
+            net = node.net
+            if net in common and net not in seen:
+                seen.add(net)
+                ordered.append(net)
+            if node.is_leaf:
+                continue
+            cv = node.gate.cell.controlling_value
+            acc = below.setdefault(net, set()) if net in common else None
+            for child in node.children:
+                child_net = child.net
+                if cv is not None and child_net in common:
+                    controlling.setdefault(child_net, set()).add(cv)
+                if acc is not None:
+                    acc.update(_node_nets(child, node_nets_cache))
+
+    # Step 2: drop nets dominated by another common net's fanin cone.
+    survivors = {
+        net
+        for net in common
+        if not any(
+            net in below.get(other, ())
+            for other in common
+            if other != net
+        )
+    }
 
     candidates: List[ControlSignalCandidate] = []
     for net in ordered:
-        values: Set[int] = set()
-        for cone in cones:
-            values |= _controlling_values(cone, net)
+        if net not in survivors:
+            continue
+        values = controlling.get(net)
         if values:
             candidates.append(
                 ControlSignalCandidate(net, tuple(sorted(values)))

@@ -11,6 +11,13 @@ A *bit signature* decomposes a candidate word bit into its root gate type
 plus the hash keys of its second-level subtrees (one per root fanin).
 Matching (Section 2.3), control-signal discovery (2.4) and post-reduction
 re-checking (2.5) all operate on these signatures.
+
+:func:`hash_key`, :func:`signature_of` and :class:`SignatureIndex` are the
+reference implementations — direct transcriptions of the paper kept for
+tests and one-off queries.  The staged engine computes the same keys and
+signatures through :class:`~repro.core.context.AnalysisContext`, which adds
+the memoization (per-netlist key tables, DAG-shared cones, incremental
+re-hash after reduction) that production-scale runs need.
 """
 
 from __future__ import annotations

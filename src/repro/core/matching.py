@@ -20,7 +20,14 @@ from typing import Dict, List, Sequence, Tuple
 
 from .hashkey import LEAF_TOKEN, BitSignature
 
-__all__ = ["MatchKind", "compare_bits", "PairMatch", "Subgroup", "form_subgroups"]
+__all__ = [
+    "MatchKind",
+    "compare_bits",
+    "PairMatch",
+    "Subgroup",
+    "form_subgroups",
+    "full_match_runs",
+]
 
 
 class MatchKind:
@@ -68,6 +75,32 @@ def _merge_compare(
     only_a.extend(keys_a[i:])
     only_b.extend(keys_b[j:])
     return matched, only_a, only_b
+
+
+def _shares_structural_key(
+    keys_a: Sequence[str], keys_b: Sequence[str]
+) -> bool:
+    """True when the sorted key lists share a non-leaf key.
+
+    The merge walk of :func:`_merge_compare`, reduced to the partial-match
+    predicate: stops at the first shared key with real gates in it, and
+    allocates nothing.  (A shared bare-leaf subtree carries no structure —
+    any two gates with a PI/register fanin would "match".)
+    """
+    i = j = 0
+    len_a, len_b = len(keys_a), len(keys_b)
+    while i < len_a and j < len_b:
+        ka, kb = keys_a[i], keys_b[j]
+        if ka == kb:
+            if ka != LEAF_TOKEN:
+                return True
+            i += 1
+            j += 1
+        elif ka < kb:
+            i += 1
+        else:
+            j += 1
+    return False
 
 
 def compare_bits(a: BitSignature, b: BitSignature) -> PairMatch:
@@ -134,12 +167,24 @@ class Subgroup:
         """
         if not self.signatures:
             return
-        common = list(self.signatures[0].sorted_keys)
+        first = self.signatures[0].sorted_keys
+        common: List[str] = None  # type: ignore[assignment]
         for sig in self.signatures[1:]:
+            if common is None:
+                if sig.sorted_keys == first:
+                    continue  # identical multiset cannot shrink the common
+                common = list(first)
             matched, _, _ = _merge_compare(common, sig.sorted_keys)
             common = matched
+        if common is None:
+            common = list(first)
         self.dissimilar = {}
         for sig in self.signatures:
+            # Fully-matching bits (the overwhelmingly common case) have
+            # keys equal to the common multiset — nothing left over.
+            if len(sig.sorted_keys) == len(common):
+                self.dissimilar[sig.net] = []
+                continue
             _, only_sig, _ = _merge_compare(sig.sorted_keys, common)
             roots: List[str] = []
             leftovers = list(only_sig)
@@ -171,9 +216,26 @@ def form_subgroups(
         if not current:
             current = [sig]
             continue
-        outcome = compare_bits(current[-1], sig)
-        chains = outcome.kind == MatchKind.FULL or (
-            allow_partial and outcome.kind == MatchKind.PARTIAL
+        # Inline tri-state comparison (same outcome as compare_bits, which
+        # stays the readable reference): a full match is an equality test
+        # on the sorted key tuples; a partial match needs one shared
+        # structural key.  No PairMatch is materialized on this hot path.
+        prev = current[-1]
+        chains = (
+            prev.root_type is not None
+            and sig.root_type == prev.root_type
+            and (
+                (
+                    sig.sorted_keys == prev.sorted_keys
+                    and bool(sig.sorted_keys)
+                )
+                or (
+                    allow_partial
+                    and _shares_structural_key(
+                        prev.sorted_keys, sig.sorted_keys
+                    )
+                )
+            )
         )
         if chains:
             current.append(sig)
@@ -189,3 +251,37 @@ def _make_subgroup(signatures: List[BitSignature]) -> Subgroup:
     subgroup = Subgroup(list(signatures))
     subgroup.finalize()
     return subgroup
+
+
+def full_match_runs(
+    signatures: Sequence[BitSignature],
+) -> List[List[BitSignature]]:
+    """Partition bits into maximal runs of fully-matching structure.
+
+    Equivalent to ``form_subgroups(signatures, allow_partial=False)``
+    flattened to signature lists, but without constructing
+    :class:`Subgroup` bookkeeping — this is the hot re-check after every
+    control-signal assignment, where only the partition matters.
+
+    Two adjacent bits chain exactly when :func:`compare_bits` reports a
+    full match: both non-leaf, same qualified root type, identical and
+    non-empty subtree key multisets.
+    """
+    runs: List[List[BitSignature]] = []
+    current: List[BitSignature] = []
+    for sig in signatures:
+        if current:
+            prev = current[-1]
+            if (
+                prev.root_type is not None
+                and sig.root_type == prev.root_type
+                and sig.sorted_keys == prev.sorted_keys
+                and sig.sorted_keys
+            ):
+                current.append(sig)
+                continue
+            runs.append(current)
+        current = [sig]
+    if current:
+        runs.append(current)
+    return runs

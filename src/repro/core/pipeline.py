@@ -1,12 +1,16 @@
 """The word-identification pipeline — the paper's Figure 2 flow.
 
-Stages, in order:
+Stages, in order (each a stage object in :mod:`repro.core.stages`, run by
+an :class:`~repro.core.stages.AnalysisEngine` that times every stage and
+aggregates cache statistics into the result's
+:class:`~repro.core.words.StageTrace`):
 
 1. *Find potential bits of a word* (Section 2.2): scan the netlist file and
    group adjacent lines by root gate type.
 2. *Find bits with fully/partially matching structures* (Section 2.3):
    sequential pairwise comparison of second-level subtree hash keys;
-   dissimilar subtrees are remembered.
+   dissimilar subtrees are remembered.  Signatures come from a shared
+   :class:`~repro.core.context.AnalysisContext`.
 3. *Find relevant control signals* (Section 2.4): nets common to all
    dissimilar subtrees, minus dominated ones.
 4. *Assign values / simplify circuit* (Section 2.5): controlling values are
@@ -16,31 +20,43 @@ Stages, in order:
    full similarity; the first assignment that makes every bit match wins.
    If no assignment fully unifies the subgroup, the best partition seen is
    kept (falling back to the unreduced full-match partition, which is what
-   the baseline would produce).
+   the baseline would produce).  The re-check is incremental: only the
+   subtrees an assignment actually touched are rehashed
+   (:meth:`~repro.core.context.AnalysisContext.signatures_after_reduction`),
+   instead of rebuilding a signature index per reduced netlist.
+6. *Emission*: per-subgroup outcomes are merged in deterministic subgroup
+   order, so results are identical for any ``jobs`` setting.
 
 Reduction runs on the subcircuit induced by the subgroup's fanin cones:
 everything the hash keys can observe lives there, so simplifying the whole
 netlist (as the paper phrases it) and simplifying the cone union are
 equivalent for the re-check, and the latter keeps per-subgroup cost small.
+With ``jobs > 1`` the per-subgroup searches run on a thread pool.
 """
 
 from __future__ import annotations
 
-import itertools
-import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
-from ..netlist.cone import extract_subcircuit
 from ..netlist.netlist import Netlist
-from .control import ControlSignalCandidate, find_control_signals
-from .grouping import group_by_adjacency, group_register_inputs
-from .hashkey import BitSignature, SignatureIndex, signature_of
-from .matching import Subgroup, form_subgroups
-from .reduction import InfeasibleAssignment, reduce_netlist
-from .words import ControlAssignment, IdentificationResult, StageTrace, Word
+from .context import AnalysisContext
+from .stages import (
+    AnalysisEngine,
+    _assignments,
+    _emit_partition,
+    _full_match_partition,
+    _partition_score,
+)
+from .words import IdentificationResult
 
 __all__ = ["PipelineConfig", "identify_words"]
+
+# Re-exported for callers of the pre-stage API (tests, notebooks).
+_assignments = _assignments
+_emit_partition = _emit_partition
+_full_match_partition = _full_match_partition
+_partition_score = _partition_score
 
 
 @dataclass(frozen=True)
@@ -66,6 +82,10 @@ class PipelineConfig:
         Enabling this extension also keeps the best partial unification
         seen — more words grouped, at the cost of extra control signals
         spent on non-word structures (evaluated in the ablation bench).
+    ``jobs``
+        Worker threads for the per-subgroup reduction search.  Results
+        and trace counters are byte-identical for any value; 1 (default)
+        runs fully serial.
     """
 
     depth: int = 4
@@ -74,6 +94,7 @@ class PipelineConfig:
     grouping: str = "adjacency"
     max_control_signals: int = 8
     accept_partial_heals: bool = False
+    jobs: int = 1
 
     def __post_init__(self):
         if self.depth < 1:
@@ -82,148 +103,22 @@ class PipelineConfig:
             raise ValueError("max_simultaneous must be >= 1")
         if self.grouping not in ("adjacency", "registers"):
             raise ValueError(f"unknown grouping {self.grouping!r}")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
 
 
 def identify_words(
-    netlist: Netlist, config: Optional[PipelineConfig] = None
-) -> IdentificationResult:
-    """Run the full word-identification flow on a netlist."""
-    config = config or PipelineConfig()
-    started = time.perf_counter()
-    result = IdentificationResult()
-    trace = result.trace
-
-    if config.grouping == "adjacency":
-        groups = group_by_adjacency(netlist)
-    else:
-        groups = group_register_inputs(netlist)
-    trace.num_groups = len(groups)
-    trace.num_candidate_nets = sum(len(g) for g in groups)
-
-    index = SignatureIndex(netlist, config.depth)
-    boundary = netlist.cone_leaf_nets()
-    for group in groups:
-        signatures = [index.signature(net) for net in group]
-        subgroups = form_subgroups(
-            signatures, allow_partial=config.allow_partial
-        )
-        trace.num_subgroups += len(subgroups)
-        for subgroup in subgroups:
-            _process_subgroup(netlist, subgroup, config, result, boundary)
-
-    result.runtime_seconds = time.perf_counter() - started
-    return result
-
-
-# ----------------------------------------------------------------------
-# per-subgroup work
-# ----------------------------------------------------------------------
-
-def _process_subgroup(
     netlist: Netlist,
-    subgroup: Subgroup,
-    config: PipelineConfig,
-    result: IdentificationResult,
-    boundary: Optional[set] = None,
-) -> None:
-    trace = result.trace
-    bits = subgroup.bits
-    if len(bits) == 1:
-        result.singletons.extend(bits)
-        return
-    if subgroup.fully_matched:
-        trace.num_fully_matched_subgroups += 1
-        result.words.append(Word(tuple(bits)))
-        return
-    if not subgroup.partially_matched or not config.allow_partial:
-        # Mixed/degenerate subgroup: fall back to the full-match partition.
-        _emit_partition(
-            _full_match_partition(subgroup.signatures), None, result
-        )
-        return
+    config: Optional[PipelineConfig] = None,
+    context: Optional[AnalysisContext] = None,
+) -> IdentificationResult:
+    """Run the full word-identification flow on a netlist.
 
-    trace.num_partially_matched_subgroups += 1
-    candidates = find_control_signals(subgroup)[: config.max_control_signals]
-    trace.num_control_signal_candidates += len(candidates)
-
-    baseline_partition = _full_match_partition(subgroup.signatures)
-    best_partition = baseline_partition
-    best_score = _partition_score(baseline_partition)
-    best_assignment: Optional[ControlAssignment] = None
-
-    if candidates:
-        subcircuit = extract_subcircuit(
-            netlist, bits, config.depth, boundary=boundary
-        )
-        for assignment in _assignments(candidates, config.max_simultaneous):
-            trace.num_assignments_tried += 1
-            try:
-                reduced = reduce_netlist(subcircuit, assignment)
-            except InfeasibleAssignment:
-                continue
-            reduced_index = SignatureIndex(reduced.netlist, config.depth)
-            new_signatures = [reduced_index.signature(net) for net in bits]
-            partition = _full_match_partition(new_signatures)
-            unified = len(partition) == 1 and len(partition[0]) == len(bits)
-            if unified:
-                # Every bit unified: the word is found, stop searching.
-                best_partition = partition
-                best_assignment = ControlAssignment.of(assignment)
-                break
-            if config.accept_partial_heals:
-                score = _partition_score(partition)
-                if score > best_score:
-                    best_score = score
-                    best_partition = partition
-                    best_assignment = ControlAssignment.of(assignment)
-
-    if best_assignment is not None:
-        trace.num_reductions_that_matched += 1
-    _emit_partition(best_partition, best_assignment, result)
-
-
-def _assignments(
-    candidates: Sequence[ControlSignalCandidate], max_simultaneous: int
-) -> Iterator[Dict[str, int]]:
-    """Candidate value assignments: single signals first, then pairs, ...
-
-    For each subset of signals, the cartesian product of their feasible
-    values is tried.  The paper explores singles then pairs; the subset
-    size cap is ``max_simultaneous``.
+    ``context`` — an optional pre-warmed
+    :class:`~repro.core.context.AnalysisContext` for ``netlist`` — lets
+    repeated analyses (ablations, baseline-vs-ours comparisons, repeated
+    service queries) share cone and hash-key caches; by default a fresh
+    context is created per call.
     """
-    for size in range(1, max_simultaneous + 1):
-        if size > len(candidates):
-            return
-        for subset in itertools.combinations(candidates, size):
-            value_choices = [c.values for c in subset]
-            for values in itertools.product(*value_choices):
-                yield {c.net: v for c, v in zip(subset, values)}
-
-
-def _full_match_partition(
-    signatures: Sequence[BitSignature],
-) -> List[List[BitSignature]]:
-    """Partition bits into maximal runs of fully-matching structure."""
-    runs = form_subgroups(signatures, allow_partial=False)
-    return [list(run.signatures) for run in runs]
-
-
-def _partition_score(partition: List[List[BitSignature]]) -> Tuple[int, int]:
-    """Order partitions: larger best word first, then fewer fragments."""
-    largest = max(len(run) for run in partition)
-    return (largest, -len(partition))
-
-
-def _emit_partition(
-    partition: List[List[BitSignature]],
-    assignment: Optional[ControlAssignment],
-    result: IdentificationResult,
-) -> None:
-    for run in partition:
-        if len(run) >= 2:
-            word = Word(tuple(sig.net for sig in run))
-            result.words.append(word)
-            if assignment is not None:
-                result.control_assignments[word] = assignment
-        else:
-            result.singletons.append(run[0].net)
+    config = config or PipelineConfig()
+    return AnalysisEngine(config).run(netlist, context=context)

@@ -1,0 +1,427 @@
+"""The staged analysis engine behind :func:`~repro.core.pipeline.identify_words`.
+
+The paper's Figure 2 flow is decomposed into six explicit stages, each a
+small object consuming and producing typed artifacts on a shared
+:class:`StageArtifacts` record:
+
+======================  ============================================to=====
+stage                   artifact produced
+======================  ===================================================
+:class:`GroupingStage`  ``groups`` — first-level candidate groups (Sec 2.2)
+:class:`SignatureStage` ``group_signatures`` — bit signatures via the
+                        shared :class:`~repro.core.context.AnalysisContext`
+:class:`MatchingStage`  ``tasks`` — classified :class:`SubgroupTask` list
+                        (Sec 2.3)
+:class:`ControlStage`   per-task control-signal candidates (Sec 2.4)
+:class:`ReductionStage` per-task :class:`SubgroupOutcome` from the
+                        assignment search (Sec 2.5) — the only parallel
+                        stage (``PipelineConfig.jobs``)
+:class:`EmissionStage`  the final :class:`IdentificationResult`
+======================  ===================================================
+
+The engine (:class:`AnalysisEngine`) times every stage into
+``StageTrace.stage_seconds`` and merges per-task cache statistics in task
+order, so results *and* trace counters are byte-identical for any ``jobs``
+value: parallelism only reorders execution, never observation.  Worker
+tasks each own a sub-:class:`AnalysisContext` (parent = the shared
+context) and only read shared state, so the thread pool needs no locks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..netlist.cone import extract_subcircuit
+from ..netlist.netlist import Netlist
+from .context import AnalysisContext
+from .control import ControlSignalCandidate, find_control_signals
+from .grouping import group_by_adjacency, group_register_inputs
+from .hashkey import BitSignature
+from .matching import Subgroup, form_subgroups, full_match_runs
+from .reduction import InfeasibleAssignment, reduce_netlist
+from .words import CacheStats, ControlAssignment, IdentificationResult, Word
+
+__all__ = [
+    "AnalysisEngine",
+    "StageArtifacts",
+    "SubgroupTask",
+    "SubgroupOutcome",
+    "GroupingStage",
+    "SignatureStage",
+    "MatchingStage",
+    "ControlStage",
+    "ReductionStage",
+    "EmissionStage",
+    "default_stages",
+]
+
+
+# ----------------------------------------------------------------------
+# artifacts
+# ----------------------------------------------------------------------
+
+@dataclass
+class SubgroupTask:
+    """One subgroup's unit of work, classified by the matching stage.
+
+    ``kind`` is one of ``"singleton"`` (one bit — emitted alone),
+    ``"full"`` (already fully matched — emitted as a word), ``"mixed"``
+    (degenerate or partial matching disabled — emitted as its full-match
+    partition), or ``"partial"`` (partially matched — goes through control
+    discovery and reduction search).
+    """
+
+    index: int
+    subgroup: Subgroup
+    kind: str
+    candidates: List[ControlSignalCandidate] = field(default_factory=list)
+    outcome: Optional["SubgroupOutcome"] = None
+
+
+@dataclass
+class SubgroupOutcome:
+    """What the reduction search decided for one partial subgroup."""
+
+    partition: List[List[BitSignature]]
+    assignment: Optional[ControlAssignment] = None
+    assignments_tried: int = 0
+    infeasible: int = 0
+    subcircuits: int = 0
+    cache: Optional[CacheStats] = None
+
+
+@dataclass
+class StageArtifacts:
+    """The typed state threaded through the stage graph."""
+
+    netlist: Netlist
+    config: "PipelineConfig"  # noqa: F821 - import cycle; see pipeline.py
+    context: AnalysisContext
+    result: IdentificationResult
+    groups: List[List[str]] = field(default_factory=list)
+    group_signatures: List[List[BitSignature]] = field(default_factory=list)
+    tasks: List[SubgroupTask] = field(default_factory=list)
+
+    @property
+    def trace(self):
+        return self.result.trace
+
+
+# ----------------------------------------------------------------------
+# stages
+# ----------------------------------------------------------------------
+
+class Stage:
+    """One box of the Figure 2 flow; mutates the shared artifacts."""
+
+    name: str = "stage"
+
+    def run(self, art: StageArtifacts) -> None:
+        raise NotImplementedError
+
+
+class GroupingStage(Stage):
+    """Find potential bits of a word (Section 2.2)."""
+
+    name = "grouping"
+
+    def run(self, art: StageArtifacts) -> None:
+        if art.config.grouping == "adjacency":
+            art.groups = group_by_adjacency(art.netlist)
+        else:
+            art.groups = group_register_inputs(art.netlist)
+        art.trace.num_groups = len(art.groups)
+        art.trace.num_candidate_nets = sum(len(g) for g in art.groups)
+
+
+class SignatureStage(Stage):
+    """Compute bit signatures through the shared context's caches."""
+
+    name = "signatures"
+
+    def run(self, art: StageArtifacts) -> None:
+        art.context.precompute_keys()
+        art.group_signatures = [
+            art.context.signatures(group) for group in art.groups
+        ]
+
+
+class MatchingStage(Stage):
+    """Form subgroups (Section 2.3) and classify each into a task."""
+
+    name = "matching"
+
+    def run(self, art: StageArtifacts) -> None:
+        config = art.config
+        tasks: List[SubgroupTask] = []
+        for signatures in art.group_signatures:
+            subgroups = form_subgroups(
+                signatures, allow_partial=config.allow_partial
+            )
+            art.trace.num_subgroups += len(subgroups)
+            for subgroup in subgroups:
+                tasks.append(
+                    SubgroupTask(
+                        index=len(tasks),
+                        subgroup=subgroup,
+                        kind=self._classify(subgroup, config),
+                    )
+                )
+        art.tasks = tasks
+
+    @staticmethod
+    def _classify(subgroup: Subgroup, config) -> str:
+        if len(subgroup.signatures) == 1:
+            return "singleton"
+        if subgroup.fully_matched:
+            return "full"
+        if not subgroup.partially_matched or not config.allow_partial:
+            return "mixed"
+        return "partial"
+
+
+class ControlStage(Stage):
+    """Find relevant control signals for partial subgroups (Section 2.4)."""
+
+    name = "control"
+
+    def run(self, art: StageArtifacts) -> None:
+        cap = art.config.max_control_signals
+        for task in art.tasks:
+            if task.kind != "partial":
+                continue
+            art.trace.num_partially_matched_subgroups += 1
+            task.candidates = find_control_signals(
+                task.subgroup, context=art.context
+            )[:cap]
+            art.trace.num_control_signal_candidates += len(task.candidates)
+
+
+class ReductionStage(Stage):
+    """Assign values / simplify circuit / re-check (Section 2.5).
+
+    Each partial subgroup is searched independently; with
+    ``config.jobs > 1`` the searches run on a thread pool.  Results are
+    attached to the tasks and later merged in task order, so the output is
+    deterministic regardless of scheduling.
+    """
+
+    name = "reduction"
+
+    def run(self, art: StageArtifacts) -> None:
+        tasks = [t for t in art.tasks if t.kind == "partial"]
+        jobs = min(art.config.jobs, len(tasks)) or 1
+        if jobs > 1:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                outcomes = list(
+                    pool.map(lambda t: self.search(art, t), tasks)
+                )
+        else:
+            outcomes = [self.search(art, task) for task in tasks]
+        for task, outcome in zip(tasks, outcomes):
+            task.outcome = outcome
+
+    @staticmethod
+    def search(art: StageArtifacts, task: SubgroupTask) -> SubgroupOutcome:
+        """Run the assignment search for one partial subgroup."""
+        config = art.config
+        subgroup = task.subgroup
+        bits = subgroup.bits
+
+        baseline_partition = full_match_runs(subgroup.signatures)
+        outcome = SubgroupOutcome(partition=baseline_partition)
+        best_score = _partition_score(baseline_partition)
+        if not task.candidates:
+            return outcome
+
+        subcircuit = extract_subcircuit(
+            art.netlist, bits, config.depth, boundary=art.context.boundary
+        )
+        outcome.subcircuits = 1
+        sub = AnalysisContext(
+            subcircuit, config.depth, parent=art.context
+        )
+        for assignment in _assignments(
+            task.candidates, config.max_simultaneous
+        ):
+            outcome.assignments_tried += 1
+            try:
+                reduced = reduce_netlist(subcircuit, assignment)
+            except InfeasibleAssignment:
+                outcome.infeasible += 1
+                continue
+            new_signatures = sub.signatures_after_reduction(
+                reduced.netlist, reduced.values, bits
+            )
+            partition = full_match_runs(new_signatures)
+            if len(partition) == 1 and len(partition[0]) == len(bits):
+                # Every bit unified: the word is found, stop searching.
+                outcome.partition = partition
+                outcome.assignment = ControlAssignment.of(assignment)
+                break
+            if config.accept_partial_heals:
+                score = _partition_score(partition)
+                if score > best_score:
+                    best_score = score
+                    outcome.partition = partition
+                    outcome.assignment = ControlAssignment.of(assignment)
+        outcome.cache = sub.stats
+        return outcome
+
+
+class EmissionStage(Stage):
+    """Merge per-subgroup outcomes into the result, in task order."""
+
+    name = "emission"
+
+    def run(self, art: StageArtifacts) -> None:
+        result = art.result
+        trace = art.trace
+        for task in art.tasks:
+            subgroup = task.subgroup
+            if task.kind == "singleton":
+                result.singletons.extend(subgroup.bits)
+            elif task.kind == "full":
+                trace.num_fully_matched_subgroups += 1
+                result.words.append(Word(tuple(subgroup.bits)))
+            elif task.kind == "mixed":
+                _emit_partition(
+                    full_match_runs(subgroup.signatures), None, result
+                )
+            else:
+                outcome = task.outcome or SubgroupOutcome(
+                    partition=full_match_runs(subgroup.signatures)
+                )
+                trace.num_assignments_tried += outcome.assignments_tried
+                trace.num_infeasible_assignments += outcome.infeasible
+                trace.num_subcircuits_extracted += outcome.subcircuits
+                if outcome.cache is not None:
+                    trace.cache.merge(outcome.cache)
+                if outcome.assignment is not None:
+                    trace.num_reductions_that_matched += 1
+                _emit_partition(
+                    outcome.partition, outcome.assignment, result
+                )
+
+
+def default_stages() -> Tuple[Stage, ...]:
+    """The Figure 2 stage graph, in execution order."""
+    return (
+        GroupingStage(),
+        SignatureStage(),
+        MatchingStage(),
+        ControlStage(),
+        ReductionStage(),
+        EmissionStage(),
+    )
+
+
+# ----------------------------------------------------------------------
+# engine
+# ----------------------------------------------------------------------
+
+class AnalysisEngine:
+    """Run the stage graph over a netlist, timing every stage."""
+
+    def __init__(
+        self,
+        config: "PipelineConfig",  # noqa: F821
+        stages: Optional[Sequence[Stage]] = None,
+    ):
+        self.config = config
+        self.stages: Tuple[Stage, ...] = tuple(stages or default_stages())
+
+    def run(
+        self,
+        netlist: Netlist,
+        context: Optional[AnalysisContext] = None,
+    ) -> IdentificationResult:
+        started = perf_counter()
+        if context is None:
+            context = AnalysisContext(netlist, self.config.depth)
+        elif context.depth != self.config.depth:
+            raise ValueError(
+                f"context depth {context.depth} != config depth "
+                f"{self.config.depth}"
+            )
+        result = IdentificationResult()
+        result.trace.jobs = self.config.jobs
+        art = StageArtifacts(
+            netlist=netlist,
+            config=self.config,
+            context=context,
+            result=result,
+        )
+        for stage in self.stages:
+            stage_started = perf_counter()
+            stage.run(art)
+            result.trace.stage_seconds[stage.name] = (
+                perf_counter() - stage_started
+            )
+        result.trace.cache.merge(context.stats)
+        result.runtime_seconds = perf_counter() - started
+        return result
+
+
+# ----------------------------------------------------------------------
+# search helpers (shared with the legacy pipeline API)
+# ----------------------------------------------------------------------
+
+def _assignments(
+    candidates: Sequence[ControlSignalCandidate], max_simultaneous: int
+) -> Iterator[Dict[str, int]]:
+    """Candidate value assignments: single signals first, then pairs, ...
+
+    For each subset of signals, the cartesian product of their feasible
+    values is tried.  The paper explores singles then pairs; the subset
+    size cap is ``max_simultaneous``.
+    """
+    for size in range(1, max_simultaneous + 1):
+        if size > len(candidates):
+            return
+        for subset in itertools.combinations(candidates, size):
+            value_choices = [c.values for c in subset]
+            for values in itertools.product(*value_choices):
+                yield {c.net: v for c, v in zip(subset, values)}
+
+
+def _full_match_partition(
+    signatures: Sequence[BitSignature],
+) -> List[List[BitSignature]]:
+    """Partition bits into maximal runs of fully-matching structure."""
+    return full_match_runs(signatures)
+
+
+def _partition_score(
+    partition: List[List[BitSignature]],
+) -> Tuple[int, int]:
+    """Order partitions: larger best word first, then fewer fragments.
+
+    An empty partition (a degenerate subgroup with no signatures) scores
+    below every real one.
+    """
+    if not partition:
+        return (0, 0)
+    largest = max(len(run) for run in partition)
+    return (largest, -len(partition))
+
+
+def _emit_partition(
+    partition: List[List[BitSignature]],
+    assignment: Optional[ControlAssignment],
+    result: IdentificationResult,
+) -> None:
+    for run in partition:
+        if not run:  # degenerate runs carry no bits; never emit them
+            continue
+        if len(run) >= 2:
+            word = Word(tuple(sig.net for sig in run))
+            result.words.append(word)
+            if assignment is not None:
+                result.control_assignments[word] = assignment
+        else:
+            result.singletons.append(run[0].net)

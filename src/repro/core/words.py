@@ -5,7 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-__all__ = ["Word", "ControlAssignment", "StageTrace", "IdentificationResult"]
+__all__ = [
+    "Word",
+    "ControlAssignment",
+    "CacheStats",
+    "StageTrace",
+    "IdentificationResult",
+]
 
 
 @dataclass(frozen=True)
@@ -64,11 +70,83 @@ class ControlAssignment:
 
 
 @dataclass
+class CacheStats:
+    """Hit/miss counters of the :class:`~repro.core.context.AnalysisContext`
+    caches, aggregated deterministically across every context a run creates
+    (the engine's shared context plus one per reduction-searched subgroup).
+
+    ``reduced_keys_reused`` / ``reduced_keys_rehashed`` record the incremental
+    re-check after each control-signal assignment: reused keys were taken
+    verbatim from the unreduced circuit because the assignment provably did
+    not touch that subtree; rehashed keys had to be recomputed.
+    """
+
+    cone_hits: int = 0
+    cone_misses: int = 0
+    key_hits: int = 0
+    key_misses: int = 0
+    key_shared_hits: int = 0
+    signature_hits: int = 0
+    signature_misses: int = 0
+    node_key_hits: int = 0
+    node_key_misses: int = 0
+    netset_hits: int = 0
+    netset_misses: int = 0
+    reduced_keys_reused: int = 0
+    reduced_keys_rehashed: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    @staticmethod
+    def _rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def cone_hit_rate(self) -> float:
+        return self._rate(self.cone_hits, self.cone_misses)
+
+    @property
+    def key_hit_rate(self) -> float:
+        return self._rate(self.key_hits + self.key_shared_hits, self.key_misses)
+
+    @property
+    def reduced_reuse_rate(self) -> float:
+        return self._rate(self.reduced_keys_reused, self.reduced_keys_rehashed)
+
+    def lines(self) -> List[str]:
+        return [
+            f"cone cache:          {self.cone_hits} hits / "
+            f"{self.cone_misses} misses ({self.cone_hit_rate:.1%})",
+            f"hash-key cache:      {self.key_hits} hits + "
+            f"{self.key_shared_hits} shared / {self.key_misses} misses "
+            f"({self.key_hit_rate:.1%})",
+            f"signature cache:     {self.signature_hits} hits / "
+            f"{self.signature_misses} misses",
+            f"cone net-set cache:  {self.netset_hits} hits / "
+            f"{self.netset_misses} misses",
+            f"reduced-key reuse:   {self.reduced_keys_reused} reused / "
+            f"{self.reduced_keys_rehashed} rehashed "
+            f"({self.reduced_reuse_rate:.1%})",
+        ]
+
+
+@dataclass
 class StageTrace:
     """Per-stage counters exposed for the Figure 2 flow inspection.
 
-    Every field corresponds to one box of the paper's flowchart, so
-    ``examples/quickstart.py --trace`` can narrate the run.
+    Every counter corresponds to one box of the paper's flowchart, so
+    ``examples/quickstart.py --trace`` can narrate the run.  On top of the
+    paper-facing counters the trace carries the engine's observability
+    layer: per-stage wall-clock (``stage_seconds``, keyed by stage name in
+    execution order), cache hit/miss statistics (``cache``), and
+    assignment-search statistics.  ``as_dict`` is the machine-readable
+    schema dumped by ``repro-identify --trace-json``.
     """
 
     num_candidate_nets: int = 0
@@ -79,6 +157,11 @@ class StageTrace:
     num_control_signal_candidates: int = 0
     num_assignments_tried: int = 0
     num_reductions_that_matched: int = 0
+    num_infeasible_assignments: int = 0
+    num_subcircuits_extracted: int = 0
+    jobs: int = 1
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    cache: CacheStats = field(default_factory=CacheStats)
 
     def lines(self) -> List[str]:
         return [
@@ -91,6 +174,58 @@ class StageTrace:
             f"assignments tried (Sec 2.5):     {self.num_assignments_tried}",
             f"reductions that matched:         {self.num_reductions_that_matched}",
         ]
+
+    def counter_dict(self) -> Dict[str, int]:
+        """The deterministic integer counters (identical for any ``jobs``)."""
+        return {
+            name: getattr(self, name)
+            for name in (
+                "num_candidate_nets",
+                "num_groups",
+                "num_subgroups",
+                "num_fully_matched_subgroups",
+                "num_partially_matched_subgroups",
+                "num_control_signal_candidates",
+                "num_assignments_tried",
+                "num_reductions_that_matched",
+                "num_infeasible_assignments",
+                "num_subcircuits_extracted",
+            )
+        }
+
+    def timing_lines(self) -> List[str]:
+        total = sum(self.stage_seconds.values())
+        out = [
+            f"{name:<12} {seconds * 1000.0:9.1f} ms"
+            for name, seconds in self.stage_seconds.items()
+        ]
+        if out:
+            out.append(f"{'total':<12} {total * 1000.0:9.1f} ms")
+        return out
+
+    def extended_lines(self) -> List[str]:
+        """Counters plus timings and cache statistics, for ``--trace``."""
+        out = self.lines()
+        out.append(f"infeasible assignments:          "
+                   f"{self.num_infeasible_assignments}")
+        out.append(f"subcircuits extracted:           "
+                   f"{self.num_subcircuits_extracted}")
+        out.append(f"parallel jobs:                   {self.jobs}")
+        if self.stage_seconds:
+            out.append("stage timings:")
+            out.extend(f"  {line}" for line in self.timing_lines())
+        out.append("caches:")
+        out.extend(f"  {line}" for line in self.cache.lines())
+        return out
+
+    def as_dict(self) -> Dict:
+        """Machine-readable trace: counters, timings, and cache statistics."""
+        return {
+            "counters": self.counter_dict(),
+            "jobs": self.jobs,
+            "stage_seconds": dict(self.stage_seconds),
+            "cache": self.cache.as_dict(),
+        }
 
 
 @dataclass

@@ -9,6 +9,7 @@ Run it as a script (or via the ``repro-table1`` console entry point)::
 
     python -m repro.eval.runner            # all 12 benchmarks
     python -m repro.eval.runner b03 b12    # a subset
+    python -m repro.eval.runner --jobs 4 --trace   # parallel + stage trace
 """
 
 from __future__ import annotations
@@ -80,7 +81,10 @@ def run_benchmark(
     config = config or PipelineConfig()
     reference = extract_reference_words(netlist)
     base_result = shape_hashing(
-        netlist, baseline_config(depth=config.depth, grouping=config.grouping)
+        netlist,
+        baseline_config(
+            depth=config.depth, grouping=config.grouping, jobs=config.jobs
+        ),
     )
     ours_result = identify_words(netlist, config)
     return BenchmarkRun(
@@ -96,8 +100,14 @@ def run_benchmark(
 def run_table1(
     names: Optional[Sequence[str]] = None,
     config: Optional[PipelineConfig] = None,
+    on_run=None,
 ) -> List[BenchmarkRow]:
-    """Synthesize and evaluate the Table 1 benchmarks; returns their rows."""
+    """Synthesize and evaluate the Table 1 benchmarks; returns their rows.
+
+    ``on_run`` — an optional ``(name, BenchmarkRun)`` callback invoked after
+    each benchmark completes — gives callers the full runs (stage traces,
+    raw results) without holding every netlist alive in a list.
+    """
     from ..synth.designs import BENCHMARKS  # deferred: designs are heavy
 
     selected = list(names) if names else list(BENCHMARKS)
@@ -108,7 +118,10 @@ def run_table1(
                 f"unknown benchmark {name!r}; have {sorted(BENCHMARKS)}"
             )
         netlist = BENCHMARKS[name]()
-        rows.append(run_benchmark(netlist, config).row())
+        run = run_benchmark(netlist, config)
+        if on_run is not None:
+            on_run(name, run)
+        rows.append(run.row())
     return rows
 
 
@@ -131,6 +144,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="max control signals assigned at once (default 2)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads for the assignment search (results are "
+        "identical for any value)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print each benchmark's stage timings and cache hit rates",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", help="also write the rows as JSON"
     )
     parser.add_argument(
@@ -138,9 +163,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
     config = PipelineConfig(
-        depth=args.depth, max_simultaneous=args.max_simultaneous
+        depth=args.depth,
+        max_simultaneous=args.max_simultaneous,
+        jobs=args.jobs,
     )
-    rows = run_table1(args.benchmarks or None, config)
+
+    def print_trace(name: str, run: BenchmarkRun) -> None:
+        print(f"--- {name} ---")
+        for line in run.ours_result.trace.extended_lines():
+            print(f"  {line}")
+
+    rows = run_table1(
+        args.benchmarks or None,
+        config,
+        on_run=print_trace if args.trace else None,
+    )
     print(render_table(rows))
     if args.json:
         from .report import rows_to_json

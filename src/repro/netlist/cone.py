@@ -83,11 +83,20 @@ def extract_cone(
     root_net: str,
     depth: int = DEFAULT_DEPTH,
     stop_nets: Optional[Set[str]] = None,
+    node_cache: Optional[dict] = None,
 ) -> ConeNode:
     """Expand the fanin cone of ``root_net`` down to ``depth`` gate levels.
 
     ``stop_nets`` overrides the default cone boundary (PIs and FF outputs);
     nets in that set become leaves regardless of their drivers.
+
+    ``node_cache`` (a ``(net, levels) -> ConeNode`` dict) turns repeated
+    extractions into a shared DAG: a subtree expanded once is reused by
+    every later cone that contains it, so overlapping cones cost O(new
+    nodes) instead of O(tree size).  Callers passing a cache must keep the
+    boundary stable across calls — the cache key does not include it.
+    :class:`~repro.core.context.AnalysisContext` owns such a cache per
+    netlist.
     """
     if depth < 0:
         raise ValueError("depth must be non-negative")
@@ -97,6 +106,10 @@ def extract_cone(
         raise KeyError(f"unknown net {root_net!r}")
 
     def expand(net: str, levels_left: int) -> ConeNode:
+        if node_cache is not None:
+            cached = node_cache.get((net, levels_left))
+            if cached is not None:
+                return cached
         driver = netlist.driver(net)
         if (
             levels_left == 0
@@ -104,11 +117,15 @@ def extract_cone(
             or driver.is_ff
             or net in boundary
         ):
-            return ConeNode(net, None, ())
-        children = tuple(
-            expand(child, levels_left - 1) for child in driver.inputs
-        )
-        return ConeNode(net, driver, children)
+            node = ConeNode(net, None, ())
+        else:
+            children = tuple(
+                expand(child, levels_left - 1) for child in driver.inputs
+            )
+            node = ConeNode(net, driver, children)
+        if node_cache is not None:
+            node_cache[(net, levels_left)] = node
+        return node
 
     return expand(root_net, depth)
 
@@ -172,9 +189,10 @@ def extract_subcircuit(
                 input_nets.append(net)
     for net in sorted(input_nets):
         sub.add_input(net)
-    for gate in netlist.gates_in_file_order():
-        if gate.name in keep:
-            sub.add_gate(gate.name, gate.cell, gate.inputs, gate.output)
+    positions = netlist.file_positions()
+    for name in sorted(keep, key=positions.__getitem__):
+        gate = keep[name]
+        sub.add_gate(gate.name, gate.cell, gate.inputs, gate.output)
     for net in root_nets:
         if sub.has_net(net):
             sub.add_output(net)

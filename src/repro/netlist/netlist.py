@@ -73,6 +73,13 @@ class Netlist:
         self._fanouts: Dict[str, List[Gate]] = {}  # net -> consuming gates
         self.primary_inputs: List[str] = []
         self.primary_outputs: List[str] = []
+        # Cached cone boundary; invalidated by every mutation.  Analysis
+        # passes ask for it once per cone/signature/subcircuit, which made
+        # recomputation (a full gate scan) a dominant cost on large designs.
+        self._leaf_cache: Optional[frozenset] = None
+        # Cached name -> file position; lets subcircuit extraction order a
+        # small kept-gate set without scanning every gate in the netlist.
+        self._position_cache: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -82,6 +89,7 @@ class Netlist:
             raise NetlistError(f"net {net!r} already driven; cannot be an input")
         if net not in self.primary_inputs:
             self.primary_inputs.append(net)
+            self._leaf_cache = None
 
     def add_output(self, net: str) -> None:
         if net not in self.primary_outputs:
@@ -109,17 +117,23 @@ class Netlist:
         self._driver[output] = gate
         for net in gate.inputs:
             self._fanouts.setdefault(net, []).append(gate)
+        if cell.sequential:
+            self._leaf_cache = None
+        self._position_cache = None
         return gate
 
     def remove_gate(self, name: str) -> Gate:
         """Remove a gate; its output net becomes undriven."""
         gate = self._gates.pop(name)
         del self._order[name]
+        self._position_cache = None
         del self._driver[gate.output]
         for net in gate.inputs:
             self._fanouts[net].remove(gate)
             if not self._fanouts[net]:
                 del self._fanouts[net]
+        if gate.is_ff:
+            self._leaf_cache = None
         return gate
 
     def replace_gate(
@@ -145,6 +159,8 @@ class Netlist:
         self._driver[new_output] = gate
         for net in gate.inputs:
             self._fanouts.setdefault(net, []).append(gate)
+        if old.is_ff or gate.is_ff:
+            self._leaf_cache = None
         return gate
 
     # ------------------------------------------------------------------
@@ -179,6 +195,28 @@ class Netlist:
         """The gate driving ``net``, or ``None`` for PIs / undriven nets."""
         return self._driver.get(net)
 
+    def drivers(self) -> Iterator[Tuple[str, Gate]]:
+        """``(net, driving gate)`` pairs, in gate insertion order.
+
+        Bulk analyses (the hash-key precompute pass) iterate this instead
+        of calling :meth:`driver` once per net.
+        """
+        return iter(self._driver.items())
+
+    def file_positions(self) -> Dict[str, int]:
+        """Gate name -> position in file order (cached; treat as read-only).
+
+        Sorting a subset of gate names by this map reproduces file order
+        without iterating the whole netlist, which is what subcircuit
+        extraction needs when cutting many small cones out of one large
+        design.
+        """
+        if self._position_cache is None:
+            self._position_cache = {
+                name: pos for pos, name in enumerate(self._order)
+            }
+        return self._position_cache
+
     def fanouts(self, net: str) -> Tuple[Gate, ...]:
         """Gates consuming ``net`` (possibly empty)."""
         return tuple(self._fanouts.get(net, ()))
@@ -203,11 +241,18 @@ class Netlist:
         """Nets feeding flip-flop D pins, in file order (word candidates)."""
         return [g.inputs[0] for g in self.flip_flops()]
 
-    def cone_leaf_nets(self) -> Set[str]:
-        """Nets at which fanin cones terminate: PIs and FF outputs."""
-        leaves = set(self.primary_inputs)
-        leaves.update(self.register_output_nets())
-        return leaves
+    def cone_leaf_nets(self) -> frozenset:
+        """Nets at which fanin cones terminate: PIs and FF outputs.
+
+        The result is cached (and invalidated on mutation) because every
+        cone extraction, signature index, and subcircuit cut asks for it;
+        callers must treat the returned set as read-only.
+        """
+        if self._leaf_cache is None:
+            leaves = set(self.primary_inputs)
+            leaves.update(self.register_output_nets())
+            self._leaf_cache = frozenset(leaves)
+        return self._leaf_cache
 
     # ------------------------------------------------------------------
     # statistics

@@ -1,0 +1,154 @@
+"""Staged engine: degenerate-subgroup guards and parallel determinism.
+
+The ISSUE-level contract of ``PipelineConfig.jobs`` is that parallelism
+reorders *execution only*: words, singletons, control assignments, and
+every trace counter must be byte-identical to the serial run.  The
+degenerate-partition guards cover subgroups the reduction search can hand
+back empty or fragmented.
+"""
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "tests")
+
+from fixtures import figure1_netlist
+
+from repro.core import PipelineConfig, identify_words
+from repro.core.hashkey import BitSignature
+from repro.core.pipeline import _emit_partition, _partition_score
+from repro.core.stages import AnalysisEngine, default_stages
+from repro.core.words import IdentificationResult
+from repro.synth.designs import BENCHMARKS
+
+
+def sig(net):
+    return BitSignature(net, "AND2", (), ("$", "$"))
+
+
+class TestPartitionScore:
+    def test_empty_partition_scores_lowest(self):
+        assert _partition_score([]) == (0, 0)
+        assert _partition_score([]) < _partition_score([[sig("a")]])
+
+    def test_prefers_larger_best_word(self):
+        two = [[sig("a"), sig("b")]]
+        one = [[sig("a")], [sig("b")]]
+        assert _partition_score(two) > _partition_score(one)
+
+    def test_breaks_ties_on_fewer_fragments(self):
+        tight = [[sig("a"), sig("b")]]
+        loose = [[sig("a"), sig("b")], [sig("c")]]
+        assert _partition_score(tight) > _partition_score(loose)
+
+
+class TestEmitPartition:
+    def test_empty_partition_emits_nothing(self):
+        result = IdentificationResult()
+        _emit_partition([], None, result)
+        assert result.words == []
+        assert result.singletons == []
+
+    def test_empty_runs_are_skipped(self):
+        result = IdentificationResult()
+        _emit_partition([[], [sig("a")], []], None, result)
+        assert result.words == []
+        assert result.singletons == ["a"]
+
+    def test_all_singleton_runs(self):
+        result = IdentificationResult()
+        _emit_partition([[sig("a")], [sig("b")]], None, result)
+        assert result.words == []
+        assert result.singletons == ["a", "b"]
+
+
+class TestDegenerateSubgroups:
+    def test_empty_signature_list_forms_no_subgroups(self):
+        from repro.core.matching import form_subgroups
+
+        assert form_subgroups([]) == []
+
+    def test_all_leaf_bits_become_singletons(self):
+        # Bits with no expandable driver never chain.
+        leaves = [BitSignature(f"n{i}", None, (), ()) for i in range(4)]
+        from repro.core.matching import form_subgroups
+
+        subgroups = form_subgroups(leaves)
+        assert all(len(s.signatures) == 1 for s in subgroups)
+
+    def test_stage_graph_shape(self):
+        names = [stage.name for stage in default_stages()]
+        assert names == [
+            "grouping",
+            "signatures",
+            "matching",
+            "control",
+            "reduction",
+            "emission",
+        ]
+
+
+class TestEngineTrace:
+    def test_stage_seconds_cover_every_stage(self):
+        netlist, _bits = figure1_netlist()
+        result = identify_words(netlist, PipelineConfig())
+        assert list(result.trace.stage_seconds) == [
+            "grouping",
+            "signatures",
+            "matching",
+            "control",
+            "reduction",
+            "emission",
+        ]
+        assert all(t >= 0.0 for t in result.trace.stage_seconds.values())
+
+    def test_trace_dict_schema(self):
+        netlist, _bits = figure1_netlist()
+        result = identify_words(netlist, PipelineConfig(jobs=2))
+        dumped = result.trace.as_dict()
+        assert set(dumped) == {"counters", "jobs", "stage_seconds", "cache"}
+        assert dumped["jobs"] == 2
+
+    def test_depth_mismatch_rejected(self):
+        from repro.core.context import AnalysisContext
+
+        netlist, _bits = figure1_netlist()
+        engine = AnalysisEngine(PipelineConfig(depth=4))
+        with pytest.raises(ValueError):
+            engine.run(netlist, AnalysisContext(netlist, depth=3))
+
+
+def _snapshot(result):
+    """Everything the determinism contract covers, as plain data."""
+    return {
+        "words": [w.bits for w in result.words],
+        "singletons": list(result.singletons),
+        "assignments": {
+            w.bits: a.assignments
+            for w, a in result.control_assignments.items()
+        },
+        "counters": result.trace.counter_dict(),
+        "cache": result.trace.cache.as_dict(),
+    }
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("name", ["b03", "b12"])
+    def test_jobs4_matches_jobs1_on_itc99(self, name):
+        netlist = BENCHMARKS[name]()
+        serial = identify_words(netlist, PipelineConfig(jobs=1))
+        parallel = identify_words(netlist, PipelineConfig(jobs=4))
+        assert _snapshot(parallel) == _snapshot(serial)
+
+    def test_jobs_does_not_leak_into_counters(self):
+        netlist = BENCHMARKS["b03"]()
+        serial = identify_words(netlist, PipelineConfig(jobs=1))
+        parallel = identify_words(netlist, PipelineConfig(jobs=4))
+        assert serial.trace.jobs == 1
+        assert parallel.trace.jobs == 4
+        assert parallel.trace.counter_dict() == serial.trace.counter_dict()
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(jobs=0)
