@@ -12,8 +12,16 @@ This is the tool a downstream user actually runs::
     repro-identify design.v --trace-json t.json  # machine-readable trace
     repro-identify design.v --propagate          # + word propagation
     repro-identify design.v --score              # vs golden register names
+    repro-identify design.v --deadline 30        # wall-clock budget (s)
+    repro-identify design.v --budget 500         # assignments per subgroup
+    repro-identify design.v --strict             # degradations become errors
 
-Exit code 0 on success, 2 on unreadable/unparseable input.
+Exit code 0 on success — including degraded runs, where a deadline or
+budget fired, or a subgroup worker was quarantined, and the partial words
+were still emitted (the degradation reason lands in ``--trace`` /
+``--trace-json``).  Exit 2 on unreadable/unparseable input, and 3 when
+``--strict`` turned a budget violation, pre-flight diagnostic, or worker
+failure into an error.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from typing import Optional, Sequence
 from .core import PipelineConfig, identify_words, shape_hashing
 from .core.modules import identify_operators
 from .core.propagation import propagate_words
+from .core.resilience import BudgetExceeded, PreflightError
 from .core.words import IdentificationResult
 from .eval import evaluate, extract_reference_words
 from .netlist import parse_bench, parse_verilog
@@ -85,6 +94,36 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 1; any value yields identical results)",
     )
     parser.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="wall-clock deadline for the run; on expiry the partial "
+        "words found so far are emitted and the reason is traced",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        metavar="N",
+        default=None,
+        help="cap on control-signal assignments tried per subgroup; a "
+        "subgroup that hits it keeps the best partition seen",
+    )
+    parser.add_argument(
+        "--max-cone-gates",
+        type=int,
+        metavar="N",
+        default=None,
+        help="skip the reduction search on subgroups whose extracted "
+        "subcircuit exceeds N gates",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="turn degradations (budget hits, quarantined subgroups, "
+        "pre-flight warnings) into hard errors (exit 3)",
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="print the per-stage trace: counters, timings, cache hit rates",
@@ -139,6 +178,10 @@ def _report(
             "depth": args.depth,
             "max_simultaneous": args.max_simultaneous,
             "jobs": args.jobs,
+            "deadline_s": args.deadline,
+            "max_assignments": args.budget,
+            "max_cone_gates": args.max_cone_gates,
+            "strict": args.strict,
         },
         "words": [list(w.bits) for w in result.words],
         "control_signals": list(result.control_signals),
@@ -179,16 +222,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: cannot parse {args.netlist}: {exc}", file=sys.stderr)
         return 2
 
-    config = PipelineConfig(
-        depth=args.depth,
-        max_simultaneous=args.max_simultaneous,
-        allow_partial=not args.baseline,
-        jobs=args.jobs,
-    )
-    if args.baseline:
-        result = shape_hashing(netlist, config)
-    else:
-        result = identify_words(netlist, config)
+    try:
+        config = PipelineConfig(
+            depth=args.depth,
+            max_simultaneous=args.max_simultaneous,
+            allow_partial=not args.baseline,
+            jobs=args.jobs,
+            deadline_s=args.deadline,
+            max_assignments=args.budget,
+            max_cone_gates=args.max_cone_gates,
+            strict=args.strict,
+            preflight=True,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.baseline:
+            result = shape_hashing(netlist, config)
+        else:
+            result = identify_words(netlist, config)
+    except (BudgetExceeded, PreflightError) as exc:
+        print(f"error (strict): {exc}", file=sys.stderr)
+        return 3
+    except Exception as exc:
+        if not args.strict:
+            raise
+        print(f"error (strict): {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 3
 
     derived = None
     operators = None
@@ -212,6 +273,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if result.control_signals:
         print(f"relevant control signals: "
               f"{', '.join(result.control_signals)}")
+    for diag in result.trace.preflight:
+        print(f"pre-flight [{diag['severity']}]: {diag['message']}",
+              file=sys.stderr)
+    if result.trace.degraded:
+        suffix = " (deadline hit)" if result.trace.deadline_hit else ""
+        print(f"DEGRADED: {len(result.trace.failures)} quarantined "
+              f"failure(s){suffix} — words above are partial",
+              file=sys.stderr)
+        for failure in result.trace.failures:
+            print(f"  {failure.describe()}", file=sys.stderr)
     if derived:
         print(f"propagation derived {len(derived)} more words:")
         for word in derived:

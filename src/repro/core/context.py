@@ -73,6 +73,9 @@ class AnalysisContext:
         self.parent = parent
         self.boundary = netlist.cone_leaf_nets()
         self.stats = CacheStats()
+        # Cooperative run budget (core/resilience.py), set by the engine
+        # before the signature stage; None means no limits configured.
+        self.budget = None
         self._cones: Dict[Tuple[str, int], ConeNode] = {}
         self._keys: Dict[Tuple[str, int], str] = {}
         self._signatures: Dict[str, BitSignature] = {}
@@ -187,7 +190,15 @@ class AnalysisContext:
             if not gate.is_ff and net not in boundary
         ]
         prev: Dict[str, str] = {}
+        completed_levels = 0
         for level in range(1, self.depth):
+            if self.budget is not None and self.budget.expired():
+                # The run is over (deadline / abort): stop the bulk pass
+                # between levels.  Partial tables stay correct — a level
+                # that was never filled just falls back to the recursive
+                # key path — and the engine degrades at the next stage
+                # boundary.
+                break
             cur: Dict[str, str] = {}
             get = prev.get
             if level == 1:
@@ -208,7 +219,8 @@ class AnalysisContext:
                         cur[net] = f"({''.join(parts)}{cell})"
             self._level_keys[level] = cur
             prev = cur
-        self.stats.key_misses += len(eligible) * (self.depth - 1)
+            completed_levels += 1
+        self.stats.key_misses += len(eligible) * completed_levels
 
     def hash_key(self, node: ConeNode) -> str:
         """Canonical post-order key of an expanded cone subtree, memoized

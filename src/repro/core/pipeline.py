@@ -36,8 +36,8 @@ With ``jobs > 1`` the per-subgroup searches run on a thread pool.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from ..netlist.netlist import Netlist
 from .context import AnalysisContext
@@ -86,6 +86,34 @@ class PipelineConfig:
         Worker threads for the per-subgroup reduction search.  Results
         and trace counters are byte-identical for any value; 1 (default)
         runs fully serial.
+
+    Resilience knobs (see :mod:`repro.core.resilience` and DESIGN.md §8 —
+    all default to "unlimited", in which case every budget check is a
+    no-op and results stay byte-identical to an unbudgeted run):
+
+    ``deadline_s``
+        Wall-clock deadline for the whole run, in seconds.  Checked
+        cooperatively at stage and assignment boundaries; on expiry the
+        run degrades to the partial words found so far.
+    ``max_assignments``
+        Per-subgroup cap on control-signal assignments tried; a subgroup
+        that hits it keeps the best partition seen.
+    ``max_cone_gates``
+        Cap on the gate count of a subgroup's extracted subcircuit; an
+        oversized subgroup skips the reduction search entirely.
+    ``strict``
+        ``True`` re-raises budget violations, pre-flight errors, and
+        worker exceptions instead of quarantining them (the default
+        degrades gracefully and records the reason on the trace).
+    ``preflight``
+        Run the netlist validator before analysis and record its
+        diagnostics on ``StageTrace.preflight`` (with ``strict=True``
+        any diagnostic aborts the run).
+    ``fault_hook``
+        Test-only fault-injection point: called with each partial
+        subgroup's :class:`~repro.core.stages.SubgroupTask` at the start
+        of its reduction search; anything it raises exercises the
+        worker's retry/quarantine path.
     """
 
     depth: int = 4
@@ -95,6 +123,14 @@ class PipelineConfig:
     max_control_signals: int = 8
     accept_partial_heals: bool = False
     jobs: int = 1
+    deadline_s: Optional[float] = None
+    max_assignments: Optional[int] = None
+    max_cone_gates: Optional[int] = None
+    strict: bool = False
+    preflight: bool = False
+    fault_hook: Optional[Callable] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self):
         if self.depth < 1:
@@ -105,6 +141,12 @@ class PipelineConfig:
             raise ValueError(f"unknown grouping {self.grouping!r}")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0")
+        if self.max_assignments is not None and self.max_assignments < 0:
+            raise ValueError("max_assignments must be >= 0")
+        if self.max_cone_gates is not None and self.max_cone_gates < 1:
+            raise ValueError("max_cone_gates must be >= 1")
 
 
 def identify_words(

@@ -25,6 +25,17 @@ order, so results *and* trace counters are byte-identical for any ``jobs``
 value: parallelism only reorders execution, never observation.  Worker
 tasks each own a sub-:class:`AnalysisContext` (parent = the shared
 context) and only read shared state, so the thread pool needs no locks.
+
+Resilience (DESIGN.md §8): the engine builds one
+:class:`~repro.core.resilience.RunBudget` per run and checks it at every
+stage boundary; the reduction workers check it at every assignment
+boundary.  A budget that fires or a worker that crashes degrades one
+subgroup (quarantined as a :class:`~repro.core.resilience.SubgroupFailure`
+on the trace, after one serial retry for crashes) — the rest of the run
+completes and emits the partial words.  ``PipelineConfig.strict`` turns
+every degradation into a raised exception.  Failure records are attached
+to outcomes and merged in task order at emission, so degraded runs stay
+deterministic for any ``jobs`` value too.
 """
 
 from __future__ import annotations
@@ -37,12 +48,19 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..netlist.cone import extract_subcircuit
 from ..netlist.netlist import Netlist
+from ..netlist.validate import diagnose
 from .context import AnalysisContext
 from .control import ControlSignalCandidate, find_control_signals
 from .grouping import group_by_adjacency, group_register_inputs
 from .hashkey import BitSignature
 from .matching import Subgroup, form_subgroups, full_match_runs
 from .reduction import InfeasibleAssignment, reduce_netlist
+from .resilience import (
+    BudgetExceeded,
+    PreflightError,
+    RunBudget,
+    SubgroupFailure,
+)
 from .words import CacheStats, ControlAssignment, IdentificationResult, Word
 
 __all__ = [
@@ -84,7 +102,13 @@ class SubgroupTask:
 
 @dataclass
 class SubgroupOutcome:
-    """What the reduction search decided for one partial subgroup."""
+    """What the reduction search decided for one partial subgroup.
+
+    ``failure`` is the quarantined degradation record when the search was
+    cut short (budget fired, worker crashed twice) — the ``partition`` is
+    still the best one seen, so the subgroup degrades instead of
+    disappearing.  It is merged onto the trace in task order at emission.
+    """
 
     partition: List[List[BitSignature]]
     assignment: Optional[ControlAssignment] = None
@@ -92,6 +116,7 @@ class SubgroupOutcome:
     infeasible: int = 0
     subcircuits: int = 0
     cache: Optional[CacheStats] = None
+    failure: Optional[SubgroupFailure] = None
 
 
 @dataclass
@@ -102,6 +127,7 @@ class StageArtifacts:
     config: "PipelineConfig"  # noqa: F821 - import cycle; see pipeline.py
     context: AnalysisContext
     result: IdentificationResult
+    budget: RunBudget = field(default_factory=RunBudget)
     groups: List[List[str]] = field(default_factory=list)
     group_signatures: List[List[BitSignature]] = field(default_factory=list)
     tasks: List[SubgroupTask] = field(default_factory=list)
@@ -208,6 +234,14 @@ class ReductionStage(Stage):
     ``config.jobs > 1`` the searches run on a thread pool.  Results are
     attached to the tasks and later merged in task order, so the output is
     deterministic regardless of scheduling.
+
+    Workers are fault-isolated: an exception in one subgroup's search is
+    retried once serially and otherwise quarantined into the outcome's
+    :class:`~repro.core.resilience.SubgroupFailure`, with the unreduced
+    full-match partition as the fallback result — sibling subgroups are
+    untouched.  The run budget is checked at every assignment boundary, so
+    a deadline (or Ctrl-C, which sets the budget's abort event) stops every
+    in-flight worker promptly instead of after its full quadratic search.
     """
 
     name = "reduction"
@@ -216,21 +250,106 @@ class ReductionStage(Stage):
         tasks = [t for t in art.tasks if t.kind == "partial"]
         jobs = min(art.config.jobs, len(tasks)) or 1
         if jobs > 1:
-            with ThreadPoolExecutor(max_workers=jobs) as pool:
-                outcomes = list(
-                    pool.map(lambda t: self.search(art, t), tasks)
-                )
+            outcomes = self._run_parallel(art, tasks, jobs)
         else:
-            outcomes = [self.search(art, task) for task in tasks]
+            outcomes = [self.guarded_search(art, task) for task in tasks]
         for task, outcome in zip(tasks, outcomes):
             task.outcome = outcome
 
-    @staticmethod
-    def search(art: StageArtifacts, task: SubgroupTask) -> SubgroupOutcome:
+    def _run_parallel(
+        self, art: StageArtifacts, tasks: List[SubgroupTask], jobs: int
+    ) -> List[SubgroupOutcome]:
+        # Managed by hand instead of a `with` block: the context manager's
+        # shutdown(wait=True) made Ctrl-C hang until every queued search
+        # finished.  On any raise (KeyboardInterrupt, strict-mode failure)
+        # we set the abort event — in-flight workers notice at their next
+        # assignment boundary — cancel everything still queued, and return
+        # without waiting.
+        pool = ThreadPoolExecutor(max_workers=jobs)
+        futures = [
+            pool.submit(self.guarded_search, art, task) for task in tasks
+        ]
+        try:
+            outcomes = [future.result() for future in futures]
+        except BaseException:
+            art.budget.abort.set()
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
+        return outcomes
+
+    def guarded_search(
+        self, art: StageArtifacts, task: SubgroupTask
+    ) -> SubgroupOutcome:
+        """Fault-isolation wrapper around :meth:`search` for one subgroup.
+
+        Budget stops are handled inside :meth:`search` (they keep the best
+        partition found so far); this wrapper handles *crashes*: retry the
+        whole search once serially, then quarantine with the unreduced
+        fallback partition.  In strict mode a crash aborts the run instead.
+        """
+        budget = art.budget
+        reason = budget.stop_reason()
+        if reason is not None:
+            # The run is already over (deadline passed / aborted): drain
+            # the queue without paying for subcircuit extraction.
+            if art.config.strict:
+                raise BudgetExceeded(reason, f"subgroup {task.index}")
+            return SubgroupOutcome(
+                partition=full_match_runs(task.subgroup.signatures),
+                failure=self._failure(task, reason),
+            )
+        try:
+            return self.search(art, task)
+        except BudgetExceeded:
+            # Raised by search only in strict mode; abort siblings and
+            # let the engine propagate it.
+            budget.abort.set()
+            raise
+        except Exception as exc:
+            if art.config.strict:
+                budget.abort.set()
+                raise
+            try:
+                return self.search(art, task)
+            except Exception as retry_exc:
+                return SubgroupOutcome(
+                    partition=full_match_runs(task.subgroup.signatures),
+                    failure=self._failure(
+                        task,
+                        "error",
+                        detail=f"{type(retry_exc).__name__}: {retry_exc}",
+                        retried=True,
+                    ),
+                )
+
+    def _failure(
+        self,
+        task: SubgroupTask,
+        kind: str,
+        detail: str = "",
+        retried: bool = False,
+        assignments_tried: int = 0,
+    ) -> SubgroupFailure:
+        return SubgroupFailure(
+            index=task.index,
+            bits=tuple(task.subgroup.bits),
+            stage=self.name,
+            kind=kind,
+            detail=detail,
+            retried=retried,
+            assignments_tried=assignments_tried,
+        )
+
+    def search(self, art: StageArtifacts, task: SubgroupTask) -> SubgroupOutcome:
         """Run the assignment search for one partial subgroup."""
         config = art.config
+        budget = art.budget
         subgroup = task.subgroup
         bits = subgroup.bits
+
+        if config.fault_hook is not None:
+            config.fault_hook(task)
 
         baseline_partition = full_match_runs(subgroup.signatures)
         outcome = SubgroupOutcome(partition=baseline_partition)
@@ -242,12 +361,39 @@ class ReductionStage(Stage):
             art.netlist, bits, config.depth, boundary=art.context.boundary
         )
         outcome.subcircuits = 1
+        if (
+            budget.max_cone_gates is not None
+            and subcircuit.num_gates > budget.max_cone_gates
+        ):
+            detail = (
+                f"{subcircuit.num_gates} gates > cap {budget.max_cone_gates}"
+            )
+            if config.strict:
+                raise BudgetExceeded(
+                    "cone_gates", f"subgroup {task.index}", detail
+                )
+            outcome.failure = self._failure(task, "cone_gates", detail)
+            return outcome
         sub = AnalysisContext(
             subcircuit, config.depth, parent=art.context
         )
         for assignment in _assignments(
             task.candidates, config.max_simultaneous
         ):
+            reason = budget.stop_reason(outcome.assignments_tried)
+            if reason is not None:
+                if config.strict:
+                    raise BudgetExceeded(
+                        reason,
+                        f"subgroup {task.index}",
+                        f"after {outcome.assignments_tried} assignments",
+                    )
+                outcome.failure = self._failure(
+                    task,
+                    reason,
+                    assignments_tried=outcome.assignments_tried,
+                )
+                break
             outcome.assignments_tried += 1
             try:
                 reduced = reduce_netlist(subcircuit, assignment)
@@ -303,6 +449,12 @@ class EmissionStage(Stage):
                     trace.cache.merge(outcome.cache)
                 if outcome.assignment is not None:
                     trace.num_reductions_that_matched += 1
+                if outcome.failure is not None:
+                    # Quarantine records are merged here, in task order,
+                    # so degraded runs are as deterministic as clean ones.
+                    trace.failures.append(outcome.failure)
+                    if outcome.failure.kind == "deadline":
+                        trace.deadline_hit = True
                 _emit_partition(
                     outcome.partition, outcome.assignment, result
                 )
@@ -348,6 +500,8 @@ class AnalysisEngine:
                 f"context depth {context.depth} != config depth "
                 f"{self.config.depth}"
             )
+        budget = RunBudget.from_config(self.config)
+        context.budget = budget
         result = IdentificationResult()
         result.trace.jobs = self.config.jobs
         art = StageArtifacts(
@@ -355,8 +509,32 @@ class AnalysisEngine:
             config=self.config,
             context=context,
             result=result,
+            budget=budget,
         )
+        self._preflight(art)
+        skipped_from: Optional[str] = None
         for stage in self.stages:
+            if stage.name != "emission":
+                # Stage-boundary budget check.  Once the run is over,
+                # everything except emission is skipped so the words found
+                # so far still come out (strict mode raises instead).
+                reason = budget.stop_reason()
+                if reason is not None:
+                    if self.config.strict:
+                        raise BudgetExceeded(reason, f"stage {stage.name}")
+                    if skipped_from is None:
+                        skipped_from = stage.name
+                        result.trace.failures.append(
+                            SubgroupFailure(
+                                index=-1,
+                                bits=(),
+                                stage=stage.name,
+                                kind=reason,
+                            )
+                        )
+                        if reason == "deadline":
+                            result.trace.deadline_hit = True
+                    continue
             stage_started = perf_counter()
             stage.run(art)
             result.trace.stage_seconds[stage.name] = (
@@ -365,6 +543,20 @@ class AnalysisEngine:
         result.trace.cache.merge(context.stats)
         result.runtime_seconds = perf_counter() - started
         return result
+
+    def _preflight(self, art: StageArtifacts) -> None:
+        """Validator pre-flight (``PipelineConfig.preflight``).
+
+        Structural diagnostics land on ``StageTrace.preflight``; in strict
+        mode any diagnostic — warnings included — aborts the run by
+        raising :class:`~repro.core.resilience.PreflightError`.
+        """
+        if not self.config.preflight:
+            return
+        diagnostics = diagnose(art.netlist)
+        art.trace.preflight = [d.as_dict() for d in diagnostics]
+        if self.config.strict and diagnostics:
+            raise PreflightError(diagnostics)
 
 
 # ----------------------------------------------------------------------

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from .resilience import SubgroupFailure
+
 __all__ = [
     "Word",
     "ControlAssignment",
@@ -162,6 +164,18 @@ class StageTrace:
     jobs: int = 1
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     cache: CacheStats = field(default_factory=CacheStats)
+    # Resilience layer (see core/resilience.py and DESIGN.md §8): every
+    # quarantined degradation, whether the run's deadline fired, and the
+    # pre-flight validator diagnostics.  All empty on a clean run, so the
+    # determinism contract is unchanged when no budget fires.
+    failures: List[SubgroupFailure] = field(default_factory=list)
+    deadline_hit: bool = False
+    preflight: List[Dict] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any subgroup or stage was degraded instead of completed."""
+        return bool(self.failures) or self.deadline_hit
 
     def lines(self) -> List[str]:
         return [
@@ -216,15 +230,32 @@ class StageTrace:
             out.extend(f"  {line}" for line in self.timing_lines())
         out.append("caches:")
         out.extend(f"  {line}" for line in self.cache.lines())
+        if self.preflight:
+            out.append(f"pre-flight diagnostics:           {len(self.preflight)}")
+            out.extend(
+                f"  [{diag['severity']}] {diag['message']}"
+                for diag in self.preflight
+            )
+        if self.degraded:
+            out.append(
+                f"DEGRADED: {len(self.failures)} quarantined failure(s)"
+                + (" (deadline hit)" if self.deadline_hit else "")
+            )
+            out.extend(f"  {f.describe()}" for f in self.failures)
         return out
 
     def as_dict(self) -> Dict:
-        """Machine-readable trace: counters, timings, and cache statistics."""
+        """Machine-readable trace: counters, timings, cache statistics, and
+        the resilience record (degradations, deadline, pre-flight)."""
         return {
             "counters": self.counter_dict(),
             "jobs": self.jobs,
             "stage_seconds": dict(self.stage_seconds),
             "cache": self.cache.as_dict(),
+            "degraded": self.degraded,
+            "deadline_hit": self.deadline_hit,
+            "failures": [f.as_dict() for f in self.failures],
+            "preflight": list(self.preflight),
         }
 
 

@@ -15,7 +15,13 @@ from typing import List, Sequence
 
 from .table import BenchmarkRow, TechniqueRow
 
-__all__ = ["rows_to_json", "rows_to_csv", "rows_from_json"]
+__all__ = [
+    "row_to_dict",
+    "row_from_dict",
+    "rows_to_json",
+    "rows_to_csv",
+    "rows_from_json",
+]
 
 _CSV_COLUMNS = [
     "benchmark", "gates", "nets", "flip_flops", "words", "avg_word_size",
@@ -34,41 +40,42 @@ def _technique_dict(tech: TechniqueRow) -> dict:
     }
 
 
+def row_to_dict(row: BenchmarkRow) -> dict:
+    """One benchmark row as a JSON-ready dict (the journal entry shape)."""
+    return {
+        "benchmark": row.name,
+        "gates": row.num_gates,
+        "nets": row.num_nets,
+        "flip_flops": row.num_ffs,
+        "words": row.num_words,
+        "avg_word_size": row.avg_word_size,
+        "base": _technique_dict(row.base),
+        "ours": _technique_dict(row.ours),
+    }
+
+
+def row_from_dict(entry: dict) -> BenchmarkRow:
+    """Inverse of :func:`row_to_dict`."""
+    return BenchmarkRow(
+        name=entry["benchmark"],
+        num_gates=entry["gates"],
+        num_nets=entry["nets"],
+        num_ffs=entry["flip_flops"],
+        num_words=entry["words"],
+        avg_word_size=entry["avg_word_size"],
+        base=TechniqueRow(technique="Base", **entry["base"]),
+        ours=TechniqueRow(technique="Ours", **entry["ours"]),
+    )
+
+
 def rows_to_json(rows: Sequence[BenchmarkRow], indent: int = 2) -> str:
     """Serialize rows as a JSON document (one object per benchmark)."""
-    payload = [
-        {
-            "benchmark": row.name,
-            "gates": row.num_gates,
-            "nets": row.num_nets,
-            "flip_flops": row.num_ffs,
-            "words": row.num_words,
-            "avg_word_size": row.avg_word_size,
-            "base": _technique_dict(row.base),
-            "ours": _technique_dict(row.ours),
-        }
-        for row in rows
-    ]
-    return json.dumps(payload, indent=indent)
+    return json.dumps([row_to_dict(row) for row in rows], indent=indent)
 
 
 def rows_from_json(text: str) -> List[BenchmarkRow]:
     """Inverse of :func:`rows_to_json`."""
-    rows: List[BenchmarkRow] = []
-    for entry in json.loads(text):
-        rows.append(
-            BenchmarkRow(
-                name=entry["benchmark"],
-                num_gates=entry["gates"],
-                num_nets=entry["nets"],
-                num_ffs=entry["flip_flops"],
-                num_words=entry["words"],
-                avg_word_size=entry["avg_word_size"],
-                base=TechniqueRow(technique="Base", **entry["base"]),
-                ours=TechniqueRow(technique="Ours", **entry["ours"]),
-            )
-        )
-    return rows
+    return [row_from_dict(entry) for entry in json.loads(text)]
 
 
 def rows_to_csv(rows: Sequence[BenchmarkRow]) -> str:

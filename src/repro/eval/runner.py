@@ -10,12 +10,24 @@ Run it as a script (or via the ``repro-table1`` console entry point)::
     python -m repro.eval.runner            # all 12 benchmarks
     python -m repro.eval.runner b03 b12    # a subset
     python -m repro.eval.runner --jobs 4 --trace   # parallel + stage trace
+    python -m repro.eval.runner --journal t1.jsonl # checkpoint each row
+    python -m repro.eval.runner --resume           # continue a killed sweep
+
+Checkpointing: with ``--journal`` every completed benchmark's row is
+appended (and fsynced) to a JSONL journal as soon as it finishes, so a
+killed or crashed sweep loses at most the benchmark that was in flight.
+``--resume`` reloads the journal and skips every benchmark already
+recorded there instead of restarting all 12.  A partially-written last
+line (the process died mid-append) is ignored on reload.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from ..core.baseline import baseline_config, shape_hashing
@@ -24,9 +36,20 @@ from ..core.words import IdentificationResult
 from ..netlist.netlist import Netlist
 from .metrics import EvaluationMetrics, evaluate
 from .reference import ReferenceWord, average_word_size, extract_reference_words
+from .report import row_from_dict, row_to_dict
 from .table import BenchmarkRow, TechniqueRow, render_table
 
-__all__ = ["run_benchmark", "run_table1", "main", "BenchmarkRun"]
+__all__ = [
+    "run_benchmark",
+    "run_table1",
+    "load_journal",
+    "main",
+    "BenchmarkRun",
+    "DEFAULT_JOURNAL",
+]
+
+#: Journal path used by ``--resume`` when ``--journal`` is not given.
+DEFAULT_JOURNAL = "table1.journal.jsonl"
 
 
 class BenchmarkRun:
@@ -80,12 +103,16 @@ def run_benchmark(
     """Evaluate Base and Ours on one netlist against its golden words."""
     config = config or PipelineConfig()
     reference = extract_reference_words(netlist)
-    base_result = shape_hashing(
-        netlist,
+    base_config = replace(
         baseline_config(
             depth=config.depth, grouping=config.grouping, jobs=config.jobs
         ),
+        deadline_s=config.deadline_s,
+        max_assignments=config.max_assignments,
+        max_cone_gates=config.max_cone_gates,
+        strict=config.strict,
     )
+    base_result = shape_hashing(netlist, base_config)
     ours_result = identify_words(netlist, config)
     return BenchmarkRun(
         netlist=netlist,
@@ -97,31 +124,84 @@ def run_benchmark(
     )
 
 
+def load_journal(path: str) -> Dict[str, BenchmarkRow]:
+    """Completed rows from a checkpoint journal, keyed by benchmark name.
+
+    Tolerates a torn final line (the sweep was killed mid-append): the
+    damaged entry is dropped and its benchmark simply re-runs.  A missing
+    journal is an empty sweep, not an error.
+    """
+    completed: Dict[str, BenchmarkRow] = {}
+    try:
+        with open(path) as handle:
+            lines = handle.readlines()
+    except OSError:
+        return completed
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+            completed[entry["benchmark"]] = row_from_dict(entry)
+        except (ValueError, KeyError, TypeError):
+            continue  # torn or foreign line — re-run that benchmark
+    return completed
+
+
+def _append_journal(path: str, row: BenchmarkRow) -> None:
+    """Append one completed row and force it to disk (crash-safe)."""
+    with open(path, "a") as handle:
+        handle.write(json.dumps(row_to_dict(row)) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
 def run_table1(
     names: Optional[Sequence[str]] = None,
     config: Optional[PipelineConfig] = None,
     on_run=None,
+    journal: Optional[str] = None,
+    resume: bool = False,
 ) -> List[BenchmarkRow]:
     """Synthesize and evaluate the Table 1 benchmarks; returns their rows.
 
     ``on_run`` — an optional ``(name, BenchmarkRun)`` callback invoked after
     each benchmark completes — gives callers the full runs (stage traces,
     raw results) without holding every netlist alive in a list.
+
+    ``journal`` — path of a JSONL checkpoint file; each row is appended as
+    soon as its benchmark completes.  With ``resume=True``, benchmarks
+    already in the journal are returned from it without re-running (and
+    ``on_run`` is not called for them); without ``resume``, an existing
+    journal is started over.
     """
     from ..synth.designs import BENCHMARKS  # deferred: designs are heavy
 
     selected = list(names) if names else list(BENCHMARKS)
+    completed: Dict[str, BenchmarkRow] = {}
+    if journal is not None:
+        if resume:
+            completed = load_journal(journal)
+        elif os.path.exists(journal):
+            os.remove(journal)  # fresh sweep: start the journal over
     rows: List[BenchmarkRow] = []
     for name in selected:
         if name not in BENCHMARKS:
             raise KeyError(
                 f"unknown benchmark {name!r}; have {sorted(BENCHMARKS)}"
             )
+        if name in completed:
+            rows.append(completed[name])
+            continue
         netlist = BENCHMARKS[name]()
         run = run_benchmark(netlist, config)
         if on_run is not None:
             on_run(name, run)
-        rows.append(run.row())
+        row = run.row()
+        if journal is not None:
+            _append_journal(journal, row)
+        rows.append(row)
     return rows
 
 
@@ -156,16 +236,56 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="print each benchmark's stage timings and cache hit rates",
     )
     parser.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="per-benchmark wall-clock deadline; an expired benchmark "
+        "reports its partial words instead of stalling the sweep",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        metavar="N",
+        default=None,
+        help="cap on control-signal assignments tried per subgroup",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="re-raise budget violations and worker failures instead of "
+        "degrading",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="checkpoint each completed benchmark's row to this JSONL "
+        f"file (--resume defaults it to {DEFAULT_JOURNAL})",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip benchmarks already recorded in the journal (a killed "
+        "sweep continues from the last completed benchmark)",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", help="also write the rows as JSON"
     )
     parser.add_argument(
         "--csv", metavar="PATH", help="also write the rows as CSV"
     )
     args = parser.parse_args(argv)
+    journal = args.journal
+    if args.resume and journal is None:
+        journal = DEFAULT_JOURNAL
     config = PipelineConfig(
         depth=args.depth,
         max_simultaneous=args.max_simultaneous,
         jobs=args.jobs,
+        deadline_s=args.deadline,
+        max_assignments=args.budget,
+        strict=args.strict,
     )
 
     def print_trace(name: str, run: BenchmarkRun) -> None:
@@ -177,6 +297,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.benchmarks or None,
         config,
         on_run=print_trace if args.trace else None,
+        journal=journal,
+        resume=args.resume,
     )
     print(render_table(rows))
     if args.json:

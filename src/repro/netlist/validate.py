@@ -4,23 +4,75 @@
 test-suite on every generated benchmark, so structural corruption (dangling
 drivers, multiply-driven nets, combinational cycles, arity violations) is
 caught where it is introduced rather than deep inside the matching code.
+
+:func:`diagnose` is the structured form behind it: every problem is a
+:class:`Diagnostic` with a severity, a machine-readable kind, and the nets
+involved.  The analysis engine runs it as its pre-flight check
+(``PipelineConfig.preflight``) and records the results on
+``StageTrace.preflight``; with ``strict=True`` any diagnostic — warnings
+included — aborts the run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
 from .netlist import Netlist, NetlistError
 
-__all__ = ["ValidationReport", "validate", "NetlistStats", "stats"]
+__all__ = [
+    "Diagnostic",
+    "ValidationReport",
+    "diagnose",
+    "validate",
+    "NetlistStats",
+    "stats",
+]
+
+#: Diagnostic kinds, in report order.
+KIND_FLOATING_INPUT = "floating-input"
+KIND_ARITY = "arity"
+KIND_MULTI_DRIVEN = "multi-driven"
+KIND_UNDRIVEN_OUTPUT = "undriven-output"
+KIND_COMBINATIONAL_LOOP = "combinational-loop"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structural problem found in a netlist.
+
+    ``severity`` is ``"warning"`` for conditions the analysis tolerates
+    (a floating gate input becomes a cone leaf; an undriven primary output
+    is simply never part of a word) and ``"error"`` for corruption that
+    can produce wrong answers (combinational loops, multiply-driven nets,
+    arity violations).  ``nets`` lists the nets involved — for a
+    combinational loop, the cycle in order.
+    """
+
+    severity: str
+    kind: str
+    message: str
+    nets: Tuple[str, ...] = ()
+
+    def as_dict(self) -> Dict:
+        return {
+            "severity": self.severity,
+            "kind": self.kind,
+            "message": self.message,
+            "nets": list(self.nets),
+        }
 
 
 @dataclass
 class ValidationReport:
-    """Outcome of :func:`validate`: empty ``problems`` means a clean netlist."""
+    """Outcome of :func:`validate`: empty ``problems`` means a clean netlist.
+
+    ``diagnostics`` carries the structured records behind the flat
+    ``problems`` strings (``problems[i]`` is ``diagnostics[i].message``).
+    """
 
     problems: List[str]
+    diagnostics: List[Diagnostic] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -33,31 +85,152 @@ class ValidationReport:
             )
 
 
-def validate(netlist: Netlist, require_driven_outputs: bool = True) -> ValidationReport:
-    """Check structural invariants; returns a report, never raises."""
-    problems: List[str] = []
+def diagnose(
+    netlist: Netlist, require_driven_outputs: bool = True
+) -> List[Diagnostic]:
+    """Structured structural check; returns diagnostics, never raises.
+
+    Detects floating gate inputs, arity violations, multiply-driven nets,
+    undriven primary outputs, and combinational loops (reported with the
+    nets of one cycle, in order).
+    """
+    diagnostics: List[Diagnostic] = []
     sources = set(netlist.primary_inputs)
+    driver_names: Dict[str, List[str]] = {}
     for gate in netlist.gates_in_file_order():
         sources.add(gate.output)
+        driver_names.setdefault(gate.output, []).append(gate.name)
     for gate in netlist.gates_in_file_order():
         for net in gate.inputs:
             if net not in sources:
-                problems.append(
-                    f"gate {gate.name}: input net {net!r} has no driver"
+                diagnostics.append(
+                    Diagnostic(
+                        severity="warning",
+                        kind=KIND_FLOATING_INPUT,
+                        message=(
+                            f"gate {gate.name}: input net {net!r} "
+                            f"has no driver"
+                        ),
+                        nets=(net,),
+                    )
                 )
         try:
             gate.cell._check_arity(len(gate.inputs))
         except ValueError as exc:
-            problems.append(f"gate {gate.name}: {exc}")
+            diagnostics.append(
+                Diagnostic(
+                    severity="error",
+                    kind=KIND_ARITY,
+                    message=f"gate {gate.name}: {exc}",
+                    nets=(gate.output,),
+                )
+            )
+    for net, names in driver_names.items():
+        if len(names) > 1:
+            diagnostics.append(
+                Diagnostic(
+                    severity="error",
+                    kind=KIND_MULTI_DRIVEN,
+                    message=(
+                        f"net {net!r} multiply driven by gates "
+                        f"{', '.join(names)}"
+                    ),
+                    nets=(net,),
+                )
+            )
     if require_driven_outputs:
         for net in netlist.primary_outputs:
             if net not in sources:
-                problems.append(f"primary output {net!r} has no driver")
-    try:
-        netlist.topological_order()
-    except NetlistError as exc:
-        problems.append(str(exc))
-    return ValidationReport(problems)
+                diagnostics.append(
+                    Diagnostic(
+                        severity="warning",
+                        kind=KIND_UNDRIVEN_OUTPUT,
+                        message=f"primary output {net!r} has no driver",
+                        nets=(net,),
+                    )
+                )
+    cycle = _find_combinational_cycle(netlist)
+    if cycle:
+        diagnostics.append(
+            Diagnostic(
+                severity="error",
+                kind=KIND_COMBINATIONAL_LOOP,
+                message=(
+                    "combinational cycle detected: "
+                    + " -> ".join(cycle + (cycle[0],))
+                ),
+                nets=cycle,
+            )
+        )
+    return diagnostics
+
+
+def _find_combinational_cycle(netlist: Netlist) -> Tuple[str, ...]:
+    """Output nets of one combinational cycle (empty tuple if acyclic).
+
+    Kahn's algorithm over the combinational gates (flip-flops are
+    sources, as in :meth:`Netlist.topological_order`); the gates left
+    unordered all sit on or downstream of cycles, and walking their
+    graph until a net repeats recovers one concrete cycle to report.
+    """
+    leaves = netlist.cone_leaf_nets()
+    comb_driver: Dict[str, object] = {}
+    for gate in netlist.gates_in_file_order():
+        if not gate.is_ff:
+            comb_driver[gate.output] = gate
+
+    def comb_inputs(gate) -> List[str]:
+        return [
+            net
+            for net in gate.inputs
+            if net not in leaves and net in comb_driver
+        ]
+
+    in_degree: Dict[str, int] = {}
+    waiting: Dict[str, List[str]] = {}
+    ready: List[str] = []
+    for out, gate in comb_driver.items():
+        pending = comb_inputs(gate)
+        in_degree[out] = len(pending)
+        for net in pending:
+            waiting.setdefault(net, []).append(out)
+        if not pending:
+            ready.append(out)
+    cursor = 0
+    while cursor < len(ready):
+        out = ready[cursor]
+        cursor += 1
+        for consumer in waiting.get(out, ()):
+            in_degree[consumer] -= 1
+            if in_degree[consumer] == 0:
+                ready.append(consumer)
+    remaining = {out for out, deg in in_degree.items() if deg > 0}
+    if not remaining:
+        return ()
+    # Walk within the remaining set until a net repeats: the walk can
+    # only move between gates still blocked on each other, so it must
+    # close a cycle.
+    start = min(remaining)  # deterministic entry point
+    path: List[str] = []
+    seen: Dict[str, int] = {}
+    net = start
+    while net not in seen:
+        seen[net] = len(path)
+        path.append(net)
+        gate = comb_driver[net]
+        net = next(n for n in comb_inputs(gate) if n in remaining)
+    return tuple(reversed(path[seen[net]:]))
+
+
+def validate(netlist: Netlist, require_driven_outputs: bool = True) -> ValidationReport:
+    """Check structural invariants; returns a report, never raises."""
+    diagnostics = diagnose(
+        netlist, require_driven_outputs=require_driven_outputs
+    )
+    return ValidationReport(
+        problems=[d.message for d in diagnostics],
+        diagnostics=diagnostics,
+    )
 
 
 @dataclass(frozen=True)
@@ -81,6 +254,6 @@ def stats(netlist: Netlist) -> NetlistStats:
     return NetlistStats(
         name=netlist.name,
         num_gates=netlist.num_gates,
-        num_nets=netlist.num_nets,
         num_ffs=netlist.num_ffs,
+        num_nets=netlist.num_nets,
     )

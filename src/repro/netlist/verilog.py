@@ -23,17 +23,30 @@ treats registers as cone boundaries, so clock wiring is irrelevant to it.
 
 Line order of gate instantiations is preserved: the first-level grouping of
 the paper (Section 2.2) depends on it.
+
+Error handling: the parser runs in recovery mode — a bad statement is
+recorded as a :class:`VerilogDiagnostic` (source line, column, offending
+token) and parsing continues with the next statement, so one corrupted
+netlist surfaces *all* of its problems (up to ``max_errors``) in a single
+:class:`VerilogError` instead of one at a time.
 """
 
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .cells import BUF, CellLibrary, LIBRARY, TIE0, TIE1
 from .netlist import Netlist, NetlistError
 
-__all__ = ["parse_verilog", "parse_verilog_file", "write_verilog", "VerilogError"]
+__all__ = [
+    "parse_verilog",
+    "parse_verilog_file",
+    "write_verilog",
+    "VerilogError",
+    "VerilogDiagnostic",
+]
 
 _OUTPUT_PINS = ("Z", "Y", "O", "OUT", "Q")
 
@@ -47,8 +60,46 @@ _ASSIGN_RE = re.compile(r"^assign\s+(\S+)\s*=\s*(\S+)$")
 _BIT_SELECT_RE = re.compile(r"^(\w+)\s*\[\s*(\d+)\s*\]$")
 
 
+@dataclass(frozen=True)
+class VerilogDiagnostic:
+    """One parse problem: where it is and what was found there.
+
+    ``line`` / ``column`` are 1-based source coordinates; ``token`` is the
+    offending token when the parser could isolate one (e.g. the unknown
+    cell type), empty otherwise.
+    """
+
+    line: int
+    column: int
+    message: str
+    token: str = ""
+
+    def describe(self) -> str:
+        suffix = f" (token {self.token!r})" if self.token else ""
+        return f"line {self.line}:{self.column}: {self.message}{suffix}"
+
+    def as_dict(self) -> Dict:
+        return {
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "token": self.token,
+        }
+
+
 class VerilogError(ValueError):
-    """Raised when the input is outside the supported structural subset."""
+    """Raised when the input is outside the supported structural subset.
+
+    ``diagnostics`` lists every problem collected before giving up (at
+    most the ``max_errors`` passed to :func:`parse_verilog`); ``token``
+    is set on single-statement errors that could isolate the offending
+    token.
+    """
+
+    def __init__(self, message: str, diagnostics=None, token: str = ""):
+        self.diagnostics: List[VerilogDiagnostic] = list(diagnostics or [])
+        self.token = token
+        super().__init__(message)
 
 
 def _canon_net(token: str) -> str:
@@ -60,45 +111,123 @@ def _canon_net(token: str) -> str:
     return token
 
 
-def _split_statements(text: str) -> List[str]:
-    """Strip comments and split on ``;`` keeping statement text intact."""
-    text = _COMMENT_RE.sub(" ", text)
-    return [stmt.strip() for stmt in text.split(";") if stmt.strip()]
+def _strip_comments(text: str) -> str:
+    """Blank out comments, preserving every newline for line numbering."""
+    return _COMMENT_RE.sub(
+        lambda m: "\n" * m.group(0).count("\n") + " ", text
+    )
 
 
-def parse_verilog(text: str, library: CellLibrary = LIBRARY) -> Netlist:
-    """Parse structural Verilog source into a :class:`Netlist`."""
+def _split_statements(text: str) -> List[Tuple[str, int, int]]:
+    """Strip comments and split on ``;`` into (statement, line, column).
+
+    Statement text is kept intact (internal newlines included) so error
+    reports can locate tokens inside it; line and column (1-based) are
+    where the statement's first non-blank character sits in the source.
+    """
+    text = _strip_comments(text)
+    statements: List[Tuple[str, int, int]] = []
+    line = 1
+    for chunk in text.split(";"):
+        stripped = chunk.strip()
+        if stripped:
+            leading = chunk[: len(chunk) - len(chunk.lstrip())]
+            last_nl = leading.rfind("\n")
+            column = len(leading) - last_nl if last_nl >= 0 else len(leading) + 1
+            statements.append((stripped, line + leading.count("\n"), column))
+        line += chunk.count("\n")
+    return statements
+
+
+def _locate(
+    stmt: str, start_line: int, start_col: int, token: str
+) -> Tuple[int, int]:
+    """(line, column) of ``token`` inside a statement starting at
+    ``start_line``/``start_col`` — the statement start when the token
+    can't be found."""
+    idx = stmt.find(token) if token else -1
+    if idx < 0:
+        return start_line, start_col
+    prefix = stmt[:idx]
+    newlines = prefix.count("\n")
+    last_nl = prefix.rfind("\n")
+    if last_nl >= 0:
+        return start_line + newlines, idx - last_nl
+    return start_line, start_col + idx
+
+
+def parse_verilog(
+    text: str, library: CellLibrary = LIBRARY, max_errors: int = 10
+) -> Netlist:
+    """Parse structural Verilog source into a :class:`Netlist`.
+
+    Parsing recovers from bad statements: each is recorded as a
+    :class:`VerilogDiagnostic` and the parser moves to the next
+    statement, raising one :class:`VerilogError` carrying every
+    diagnostic at the end (or as soon as ``max_errors`` are collected).
+    """
+    if max_errors < 1:
+        raise ValueError("max_errors must be >= 1")
     statements = _split_statements(text)
     netlist: Optional[Netlist] = None
     tie_counter = 0
-    for stmt in statements:
-        stmt = " ".join(stmt.split())
-        if stmt.startswith("module"):
-            header = re.match(r"module\s+(\w+)", stmt)
-            if not header:
-                raise VerilogError(f"malformed module header: {stmt!r}")
-            netlist = Netlist(header.group(1))
-            continue
-        if stmt == "endmodule":
-            continue
-        if netlist is None:
-            raise VerilogError("statement before module header")
-        decl = _DECL_RE.match(stmt)
-        if decl:
-            _apply_declaration(netlist, decl)
-            continue
-        assign = _ASSIGN_RE.match(stmt)
-        if assign:
-            tie_counter = _apply_assign(netlist, assign, tie_counter)
-            continue
-        inst = _INSTANCE_RE.match(stmt)
-        if inst:
-            _apply_instance(netlist, inst, library)
-            continue
-        raise VerilogError(f"unsupported statement: {stmt!r}")
+    diagnostics: List[VerilogDiagnostic] = []
+
+    def record(
+        stmt: str, start_line: int, start_col: int, message: str, token: str
+    ) -> None:
+        line, column = _locate(stmt, start_line, start_col, token)
+        diagnostics.append(
+            VerilogDiagnostic(
+                line=line, column=column, message=message, token=token
+            )
+        )
+        if len(diagnostics) >= max_errors:
+            _raise_collected(diagnostics, truncated=True)
+
+    for raw_stmt, start_line, start_col in statements:
+        stmt = " ".join(raw_stmt.split())
+        try:
+            if stmt.startswith("module"):
+                header = re.match(r"module\s+(\w+)", stmt)
+                if not header:
+                    raise VerilogError(f"malformed module header: {stmt!r}")
+                netlist = Netlist(header.group(1))
+                continue
+            if stmt == "endmodule":
+                continue
+            if netlist is None:
+                raise VerilogError("statement before module header")
+            decl = _DECL_RE.match(stmt)
+            if decl:
+                _apply_declaration(netlist, decl)
+                continue
+            assign = _ASSIGN_RE.match(stmt)
+            if assign:
+                tie_counter = _apply_assign(netlist, assign, tie_counter)
+                continue
+            inst = _INSTANCE_RE.match(stmt)
+            if inst:
+                _apply_instance(netlist, inst, library)
+                continue
+            raise VerilogError(f"unsupported statement: {stmt!r}")
+        except VerilogError as exc:
+            record(raw_stmt, start_line, start_col, str(exc), exc.token)
+    if diagnostics:
+        _raise_collected(diagnostics, truncated=False)
     if netlist is None:
         raise VerilogError("no module found")
     return netlist
+
+
+def _raise_collected(
+    diagnostics: List[VerilogDiagnostic], truncated: bool
+) -> None:
+    count = f"{len(diagnostics)}{'+' if truncated else ''}"
+    listing = "\n  ".join(d.describe() for d in diagnostics)
+    raise VerilogError(
+        f"{count} parse error(s):\n  {listing}", diagnostics=diagnostics
+    )
 
 
 def parse_verilog_file(path, library: CellLibrary = LIBRARY) -> Netlist:
@@ -146,7 +275,10 @@ def _apply_instance(
     try:
         cell = library.get(cell_name)
     except KeyError as exc:
-        raise VerilogError(str(exc)) from exc
+        raise VerilogError(
+            f"unknown cell type {cell_name!r} on instance {inst_name!r}",
+            token=cell_name,
+        ) from exc
     named = _NAMED_PIN_RE.findall(body)
     if named:
         pins: Dict[str, str] = {

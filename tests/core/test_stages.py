@@ -107,8 +107,22 @@ class TestEngineTrace:
         netlist, _bits = figure1_netlist()
         result = identify_words(netlist, PipelineConfig(jobs=2))
         dumped = result.trace.as_dict()
-        assert set(dumped) == {"counters", "jobs", "stage_seconds", "cache"}
+        assert set(dumped) == {
+            "counters",
+            "jobs",
+            "stage_seconds",
+            "cache",
+            "degraded",
+            "deadline_hit",
+            "failures",
+            "preflight",
+        }
         assert dumped["jobs"] == 2
+        # A clean run carries an empty resilience record.
+        assert dumped["degraded"] is False
+        assert dumped["deadline_hit"] is False
+        assert dumped["failures"] == []
+        assert dumped["preflight"] == []
 
     def test_depth_mismatch_rejected(self):
         from repro.core.context import AnalysisContext

@@ -91,3 +91,81 @@ class TestErrors:
     def test_config_flags_forwarded(self, verilog_path, capsys):
         assert main([verilog_path, "--depth", "3",
                      "--max-simultaneous", "1"]) == 0
+
+
+class TestResilienceFlags:
+    def test_budget_degrades_with_exit_zero(self, verilog_path, capsys):
+        assert main([verilog_path, "--budget", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "words" in captured.out
+        assert "DEGRADED" in captured.err
+        assert "assignments" in captured.err
+
+    def test_deadline_degrades_with_exit_zero(self, verilog_path, capsys):
+        assert main([verilog_path, "--deadline", "1e-9"]) == 0
+        captured = capsys.readouterr()
+        assert "deadline hit" in captured.err
+
+    def test_unfired_budgets_stay_silent(self, verilog_path, capsys):
+        assert main([verilog_path, "--deadline", "3600",
+                     "--budget", "1000000"]) == 0
+        assert "DEGRADED" not in capsys.readouterr().err
+
+    def test_strict_budget_exits_three(self, verilog_path, capsys):
+        assert main([verilog_path, "--budget", "0", "--strict"]) == 3
+        assert "error (strict)" in capsys.readouterr().err
+
+    def test_invalid_deadline_exits_two(self, verilog_path, capsys):
+        assert main([verilog_path, "--deadline", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_failures_land_in_trace_json(self, verilog_path, capsys):
+        assert main([verilog_path, "--budget", "0",
+                     "--trace-json", "-"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["degraded"] is True
+        assert payload["failures"]
+        assert all(f["kind"] == "assignments" for f in payload["failures"])
+
+    def test_preflight_warning_reported(self, tmp_path, capsys):
+        src = (
+            "module t (a, y);\n"
+            "  input a;\n"
+            "  output y;\n"
+            "  wire ghost;\n"
+            "  NAND2 u1 (.A(a), .B(ghost), .Y(y));\n"
+            "endmodule\n"
+        )
+        path = tmp_path / "float.v"
+        path.write_text(src)
+        assert main([str(path)]) == 0
+        assert "pre-flight [warning]" in capsys.readouterr().err
+
+    def test_strict_preflight_exits_three(self, tmp_path, capsys):
+        src = (
+            "module t (a, y);\n"
+            "  input a;\n"
+            "  output y;\n"
+            "  wire ghost;\n"
+            "  NAND2 u1 (.A(a), .B(ghost), .Y(y));\n"
+            "endmodule\n"
+        )
+        path = tmp_path / "float.v"
+        path.write_text(src)
+        assert main([str(path), "--strict"]) == 3
+        assert "pre-flight" in capsys.readouterr().err
+
+    def test_parse_diagnostics_reach_stderr(self, tmp_path, capsys):
+        bad = tmp_path / "bad.v"
+        bad.write_text(
+            "module t (a, y);\n"
+            "  input a;\n"
+            "  output y;\n"
+            "  FROB2 u1 (.A(a), .Y(y));\n"
+            "endmodule\n"
+        )
+        assert main([str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "line 4" in err
+        assert "FROB2" in err
