@@ -146,6 +146,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="suppress words narrower than this in the listing (default 2)",
     )
+    parser.add_argument(
+        "--verify-reductions",
+        action="store_true",
+        help="re-check every committed control-signal reduction "
+        "functionally (simulation on assignment-consistent random "
+        "vectors); exit 4 on a mismatch",
+    )
     return parser
 
 
@@ -309,6 +316,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"fragmentation {metrics.fragmentation_rate:.2f}, "
                 f"{metrics.pct_not_found:.1f}% not found"
             )
+
+    if args.verify_reductions:
+        from .fuzz.oracles import verify_reductions
+
+        problems = verify_reductions(netlist, result, depth=args.depth)
+        checked = sum(
+            1 for a in result.control_assignments.values() if a.assignments
+        )
+        if problems:
+            print(f"reduction check: {len(problems)} problem(s)",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 4
+        print(f"reduction check: {checked} committed assignment(s) "
+              f"verified functionally")
 
     if args.trace:
         for line in result.trace.extended_lines():

@@ -1,0 +1,7 @@
+"""``python -m repro.fuzz`` — alias for the ``repro-fuzz`` CLI."""
+
+import sys
+
+from .harness import main
+
+sys.exit(main())

@@ -320,6 +320,39 @@ class Netlist:
             dup.add_gate(gate.name, gate.cell, gate.inputs, gate.output)
         return dup
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same name, ports, and gate lines in order.
+
+        Two netlists are equal when a netlist printer would emit the same
+        file for both (module name, port lists in order, and the same gate
+        instantiations on the same lines).  This is the contract the
+        Verilog round-trip guarantees: ``parse(write(n)) == n``.
+        """
+        if not isinstance(other, Netlist):
+            return NotImplemented
+        if (
+            self.name != other.name
+            or self.primary_inputs != other.primary_inputs
+            or self.primary_outputs != other.primary_outputs
+            or len(self._gates) != len(other._gates)
+        ):
+            return False
+        for mine, theirs in zip(
+            self.gates_in_file_order(), other.gates_in_file_order()
+        ):
+            if (
+                mine.name != theirs.name
+                or mine.cell != theirs.cell
+                or mine.inputs != theirs.inputs
+                or mine.output != theirs.output
+            ):
+                return False
+        return True
+
+    # Netlists are mutable; keep identity hashing so existing uses as
+    # plain attributes/cached values are unaffected by value equality.
+    __hash__ = object.__hash__
+
     def __repr__(self) -> str:
         return (
             f"<Netlist {self.name}: {self.num_gates} gates, "

@@ -8,11 +8,11 @@ and sweeping logic that drives nothing observable.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence
 
-from .netlist import Gate, Netlist
+from .netlist import Gate, Netlist, NetlistError
 
-__all__ = ["rewire_consumers", "sweep_dead_logic"]
+__all__ = ["rewire_consumers", "sweep_dead_logic", "reorder_gates"]
 
 
 def rewire_consumers(netlist: Netlist, old_net: str, new_net: str) -> int:
@@ -31,6 +31,39 @@ def rewire_consumers(netlist: Netlist, old_net: str, new_net: str) -> int:
         netlist.replace_gate(gate.name, gate.cell, new_inputs)
         rewired += 1
     return rewired
+
+
+def reorder_gates(
+    netlist: Netlist,
+    order: Sequence[str],
+    name: Optional[str] = None,
+) -> Netlist:
+    """Rebuild ``netlist`` with its gates in the given file order.
+
+    ``order`` must be a permutation of the existing gate names; ports and
+    connectivity are preserved, only line order changes.  This is the
+    transform behind the metamorphic fuzz oracles: the identification
+    pipeline's first-level grouping reads file adjacency, so only
+    *structured* reorderings (whole-file reversal, permutations within a
+    word's root-gate run) are behaviour-preserving — the oracles in
+    :mod:`repro.fuzz.oracles` pick those.
+    """
+    if len(order) != len(netlist) or len(set(order)) != len(order):
+        raise NetlistError(
+            f"order has {len(set(order))} distinct names, "
+            f"netlist has {len(netlist)} gates"
+        )
+    rebuilt = Netlist(name or netlist.name)
+    for net in netlist.primary_inputs:
+        rebuilt.add_input(net)
+    for gate_name in order:
+        if gate_name not in netlist:
+            raise NetlistError(f"unknown gate {gate_name!r} in order")
+        gate = netlist.gate(gate_name)
+        rebuilt.add_gate(gate.name, gate.cell, gate.inputs, gate.output)
+    for net in netlist.primary_outputs:
+        rebuilt.add_output(net)
+    return rebuilt
 
 
 def sweep_dead_logic(netlist: Netlist) -> int:

@@ -1,4 +1,4 @@
-"""Structural Verilog reader and writer for flat gate-level netlists.
+r"""Structural Verilog reader and writer for flat gate-level netlists.
 
 This supports the subset that synthesized, flattened netlists (such as the
 ITC99 gate-level releases) actually use:
@@ -11,7 +11,14 @@ ITC99 gate-level releases) actually use:
   the output first (``nand U7 (n3, n1, n2);``),
 * ``assign y = x;``, ``assign y = 1'b0;`` and ``assign y = 1'b1;``
   (lowered to BUF / TIE gates),
-* ``//`` line comments and ``/* */`` block comments.
+* ``//`` line comments and ``/* */`` block comments,
+* escaped identifiers (``\count[3] ``, ``\3$bad.name ``): a leading
+  backslash up to the next whitespace names the net/instance/module
+  literally (no bit-select canonicalization inside).  The writer escapes
+  any name that is not a plain Verilog identifier, so a parse → write →
+  parse round-trip is the identity even on hostile namespaces (e.g. the
+  ones :func:`repro.synth.anonymize.anonymize` produces in ``hostile``
+  naming mode).
 
 Pin conventions: the output pin is named ``Z``, ``Y``, ``O``, ``OUT`` or
 ``Q``; a flip-flop's data pin is ``D``; a mux's select pin is ``S`` and its
@@ -44,6 +51,7 @@ __all__ = [
     "parse_verilog",
     "parse_verilog_file",
     "write_verilog",
+    "escape_identifier",
     "VerilogError",
     "VerilogDiagnostic",
 ]
@@ -58,6 +66,32 @@ _INSTANCE_RE = re.compile(r"^(\w+)\s+(\S+)\s*\((.*)\)$", re.DOTALL)
 _NAMED_PIN_RE = re.compile(r"\.\s*(\w+)\s*\(\s*([^)]*?)\s*\)")
 _ASSIGN_RE = re.compile(r"^assign\s+(\S+)\s*=\s*(\S+)$")
 _BIT_SELECT_RE = re.compile(r"^(\w+)\s*\[\s*(\d+)\s*\]$")
+_MODULE_RE = re.compile(r"^module\s+(\\\S+|\w+)")
+_PLAIN_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+#: Names the writer must escape even though they lex as identifiers.
+_VERILOG_KEYWORDS = frozenset(
+    ("module", "endmodule", "input", "output", "wire", "assign")
+)
+
+
+def escape_identifier(name: str) -> str:
+    """``name`` as it must appear in Verilog source.
+
+    Plain identifiers pass through; anything else (bracketed bits, leading
+    digits, ``$``/``.``/``:`` characters, keywords) becomes an escaped
+    identifier — a backslash followed by the name and a terminating space,
+    per the Verilog LRM.  Names containing whitespace or the structural
+    delimiters ``( ) ; , /`` cannot be represented and are rejected.
+    """
+    if _PLAIN_ID_RE.match(name) and name not in _VERILOG_KEYWORDS:
+        return name
+    if (
+        not name
+        or any(c in name for c in "();,/\\")
+        or any(c.isspace() for c in name)
+    ):
+        raise VerilogError(f"name {name!r} cannot be written to Verilog")
+    return f"\\{name} "
 
 
 @dataclass(frozen=True)
@@ -103,8 +137,14 @@ class VerilogError(ValueError):
 
 
 def _canon_net(token: str) -> str:
-    """Canonicalize a net reference: ``a[3]`` becomes ``a_3``."""
+    """Canonicalize a net reference: ``a[3]`` becomes ``a_3``.
+
+    An escaped identifier (leading backslash) names the net literally —
+    its brackets are part of the name, never a bit select.
+    """
     token = token.strip()
+    if token.startswith("\\"):
+        return token[1:]
     match = _BIT_SELECT_RE.match(token)
     if match:
         return f"{match.group(1)}_{match.group(2)}"
@@ -189,10 +229,13 @@ def parse_verilog(
         stmt = " ".join(raw_stmt.split())
         try:
             if stmt.startswith("module"):
-                header = re.match(r"module\s+(\w+)", stmt)
+                header = _MODULE_RE.match(stmt)
                 if not header:
                     raise VerilogError(f"malformed module header: {stmt!r}")
-                netlist = Netlist(header.group(1))
+                name = header.group(1)
+                if name.startswith("\\"):
+                    name = name[1:]
+                netlist = Netlist(name)
                 continue
             if stmt == "endmodule":
                 continue
@@ -241,6 +284,14 @@ def _apply_declaration(netlist: Netlist, decl: "re.Match[str]") -> None:
         base = raw.strip()
         if not base:
             continue
+        if base.startswith("\\"):
+            # Escaped identifier: the name is literal, never a vector.
+            net = base[1:].strip()
+            if kind == "input":
+                netlist.add_input(net)
+            elif kind == "output":
+                netlist.add_output(net)
+            continue
         if msb is not None:
             hi, lo = int(msb), int(lsb)
             step = 1 if hi >= lo else -1
@@ -272,6 +323,8 @@ def _apply_instance(
     netlist: Netlist, match: "re.Match[str]", library: CellLibrary
 ) -> None:
     cell_name, inst_name, body = match.groups()
+    if inst_name.startswith("\\"):
+        inst_name = inst_name[1:]
     try:
         cell = library.get(cell_name)
     except KeyError as exc:
@@ -345,15 +398,21 @@ def write_verilog(netlist: Netlist) -> str:
 
     Gate instantiations are written in file order so a parse/write
     round-trip preserves the adjacency structure the grouping stage uses.
+    Names outside the plain-identifier grammar are written as escaped
+    identifiers, so ``parse_verilog(write_verilog(n)) == n`` holds for any
+    netlist this package can represent.
     """
+    esc = escape_identifier
     ports = list(netlist.primary_inputs) + [
         p for p in netlist.primary_outputs if p not in netlist.primary_inputs
     ]
-    lines = [f"module {netlist.name} ({', '.join(ports)});"]
+    lines = [
+        f"module {esc(netlist.name)} ({', '.join(esc(p) for p in ports)});"
+    ]
     for net in netlist.primary_inputs:
-        lines.append(f"  input {net};")
+        lines.append(f"  input {esc(net)};")
     for net in netlist.primary_outputs:
-        lines.append(f"  output {net};")
+        lines.append(f"  output {esc(net)};")
     internal = sorted(
         net
         for net in netlist.nets()
@@ -361,15 +420,16 @@ def write_verilog(netlist: Netlist) -> str:
         and net not in netlist.primary_outputs
     )
     for net in internal:
-        lines.append(f"  wire {net};")
+        lines.append(f"  wire {esc(net)};")
     for gate in netlist.gates_in_file_order():
         out_pin, in_pins = _pin_names(gate)
-        conns = [f".{out_pin}({gate.output})"]
+        conns = [f".{out_pin}({esc(gate.output)})"]
         conns.extend(
-            f".{pin}({net})" for pin, net in zip(in_pins, gate.inputs)
+            f".{pin}({esc(net)})" for pin, net in zip(in_pins, gate.inputs)
         )
         lines.append(
-            f"  {_sized_cell_name(gate)} {gate.name} ({', '.join(conns)});"
+            f"  {_sized_cell_name(gate)} {esc(gate.name)} "
+            f"({', '.join(conns)});"
         )
     lines.append("endmodule")
     return "\n".join(lines) + "\n"

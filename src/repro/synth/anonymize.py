@@ -43,18 +43,45 @@ class AnonymizedNetlist:
         return [inverse[n] for n in nets]
 
 
-def anonymize(netlist: Netlist, prefix: str = "") -> AnonymizedNetlist:
+#: Name templates of the ``hostile`` naming mode, cycled by net index.
+#: Each one falls outside the plain Verilog identifier grammar (brackets,
+#: leading digit, ``$``, ``.``, ``:``) and therefore must round-trip
+#: through the writer's escaped-identifier path — the namespaces real
+#: flattening tools emit (``\reg[3]``, ``\U1.U7``, ``\3$net``).
+_HOSTILE_TEMPLATES = (
+    "n[{i}]",
+    "{i}$n",
+    "n.{i}",
+    "bus:{i}",
+    "n${i}",
+)
+
+
+def anonymize(
+    netlist: Netlist, prefix: str = "", naming: str = "plain"
+) -> AnonymizedNetlist:
     """Strip all meaningful names; gate (line) order is preserved.
 
     Net numbering follows first appearance in file order, which is what a
-    netlist printer that invents names would produce.
+    netlist printer that invents names would produce.  ``naming`` selects
+    the namespace: ``"plain"`` produces ``n<N>``/``g<N>``; ``"hostile"``
+    cycles through name shapes that require Verilog escaped identifiers
+    (``n[3]``, ``4$n``, ``n.5`` …), for testing that no pipeline stage or
+    serializer chokes on — or secretly benefits from — name spelling.
     """
+    if naming not in ("plain", "hostile"):
+        raise ValueError(f"unknown naming mode {naming!r}")
     net_map: Dict[str, str] = {}
 
     def rename(net: str) -> str:
         anonymous = net_map.get(net)
         if anonymous is None:
-            anonymous = f"{prefix}n{len(net_map)}"
+            index = len(net_map)
+            if naming == "hostile":
+                template = _HOSTILE_TEMPLATES[index % len(_HOSTILE_TEMPLATES)]
+                anonymous = prefix + template.format(i=index)
+            else:
+                anonymous = f"{prefix}n{index}"
             net_map[net] = anonymous
         return anonymous
 
@@ -62,8 +89,12 @@ def anonymize(netlist: Netlist, prefix: str = "") -> AnonymizedNetlist:
     for net in netlist.primary_inputs:
         anonymous.add_input(rename(net))
     for index, gate in enumerate(netlist.gates_in_file_order()):
+        gate_name = (
+            f"{prefix}g[{index}]" if naming == "hostile"
+            else f"{prefix}g{index}"
+        )
         anonymous.add_gate(
-            f"{prefix}g{index}",
+            gate_name,
             gate.cell,
             [rename(n) for n in gate.inputs],
             rename(gate.output),

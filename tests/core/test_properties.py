@@ -1,0 +1,203 @@
+"""Hypothesis property tests for the pipeline's structural invariants.
+
+Three load-bearing claims, checked on randomly generated circuits instead
+of hand-picked fixtures:
+
+1. ``hash_key`` equality implies structural isomorphism of the expanded
+   cones (the key is a *canonical form*, not just a hash — the matching
+   stage treats key equality as proof of similarity, so a collision would
+   silently merge dissimilar bits).
+2. Stage-1 grouping yields a partition: no candidate net appears twice,
+   and every grouped net is a flip-flop D input of the netlist.
+3. Constant-assignment reduction preserves every observable function on
+   all source vectors consistent with the assignment (Section 2.5's only
+   semantics-touching step).
+
+All tests run with ``derandomize=True`` so the tier-1 suite stays
+deterministic; the fuzz harness covers the randomized frontier.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grouping import group_by_adjacency, root_type_of
+from repro.core.hashkey import hash_key
+from repro.core.reduction import InfeasibleAssignment, reduce_netlist
+from repro.fuzz.generator import GeneratorConfig, generate, sample_seed
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.cone import ConeNode, extract_cone
+from repro.netlist.simulate import evaluate_combinational
+
+# Tier-1 keeps the example budget small and deterministic; the nightly
+# workflow widens it via HYPOTHESIS_PROFILE=nightly.
+settings.register_profile(
+    "tier1", settings(derandomize=True, deadline=None, max_examples=30)
+)
+settings.register_profile(
+    "nightly", settings(derandomize=True, deadline=None, max_examples=250)
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "tier1"))
+SETTINGS = settings()
+
+_CELLS = ("inv", "buf", "and_", "nand", "or_", "nor", "xor")
+
+
+@st.composite
+def random_netlists(draw):
+    """Small random combinational netlists over four primary inputs.
+
+    Returns ``(netlist, nets)`` where ``nets`` lists every net in creation
+    order (inputs first) — a pool for drawing roots and assignments.
+    """
+    b = NetlistBuilder("prop")
+    nets = list(b.inputs("pa", "pb", "pc", "pd"))
+    num_gates = draw(st.integers(min_value=3, max_value=10))
+    for _ in range(num_gates):
+        cell = draw(st.sampled_from(_CELLS))
+        if cell in ("inv", "buf"):
+            fanin = [draw(st.sampled_from(nets))]
+        else:
+            width = draw(st.integers(min_value=2, max_value=3))
+            fanin = [draw(st.sampled_from(nets)) for _ in range(width)]
+        method = getattr(b, cell, None)
+        if method is None:  # or_ / and_ naming differences
+            method = getattr(b, cell.rstrip("_"))
+        nets.append(method(*fanin))
+    # Every sink-less net becomes an output so nothing is trivially dead.
+    for net in nets[4:]:
+        if not b.netlist.fanouts(net):
+            b.netlist.add_output(net)
+    return b.netlist, nets
+
+
+def _isomorphic(a: ConeNode, b: ConeNode) -> bool:
+    """Tree isomorphism under child permutation, by explicit backtracking.
+
+    Deliberately *not* implemented by comparing canonical strings — that
+    is what :func:`hash_key` does, and this is its independent check.
+    """
+    if a.is_leaf or b.is_leaf:
+        return a.is_leaf and b.is_leaf
+    if a.gate_type != b.gate_type or len(a.children) != len(b.children):
+        return False
+    for permutation in itertools.permutations(range(len(b.children))):
+        if all(
+            _isomorphic(child, b.children[permutation[i]])
+            for i, child in enumerate(a.children)
+        ):
+            return True
+    return False
+
+
+class TestHashKeyIsomorphism:
+    @SETTINGS
+    @given(random_netlists(), st.data())
+    def test_equal_keys_imply_isomorphic_cones(self, built, data):
+        netlist, nets = built
+        internal = [n for n in nets[4:]]
+        root_a = data.draw(st.sampled_from(internal), label="root_a")
+        root_b = data.draw(st.sampled_from(internal), label="root_b")
+        cone_a = extract_cone(netlist, root_a, depth=3)
+        cone_b = extract_cone(netlist, root_b, depth=3)
+        if hash_key(cone_a) == hash_key(cone_b):
+            assert _isomorphic(cone_a, cone_b), (
+                f"hash_key collision: {root_a} and {root_b} share a key "
+                f"but their cones are not isomorphic"
+            )
+
+    @SETTINGS
+    @given(random_netlists(), st.data())
+    def test_isomorphic_cones_share_keys(self, built, data):
+        # The converse: the canonical form must not distinguish
+        # permutation-equivalent cones.
+        netlist, nets = built
+        internal = [n for n in nets[4:]]
+        root = data.draw(st.sampled_from(internal), label="root")
+        cone = extract_cone(netlist, root, depth=3)
+        assert hash_key(cone) == hash_key(_mirror(cone))
+
+
+def _mirror(node: ConeNode) -> ConeNode:
+    """The same cone with every node's children reversed."""
+    return ConeNode(
+        net=node.net,
+        gate=node.gate,
+        children=tuple(_mirror(child) for child in reversed(node.children)),
+    )
+
+
+class TestGroupingPartition:
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=2**16))
+    def test_grouping_is_a_partition_of_adjacent_runs(self, seed):
+        sample = generate(
+            sample_seed(seed, 0),
+            GeneratorConfig(min_words=2, max_words=4),
+        )
+        netlist = sample.netlist
+        positions = netlist.file_positions()
+        seen = set()
+        for group in group_by_adjacency(netlist):
+            assert len(group) >= 2, "grouping emitted a singleton run"
+            types = set()
+            for net in group:
+                assert net not in seen, f"net {net} grouped twice"
+                seen.add(net)
+                driver = netlist.driver(net)
+                assert driver is not None and driver.cell.combinational, (
+                    f"grouped net {net} has no combinational driver"
+                )
+                types.add(root_type_of(driver))
+            assert len(types) == 1, (
+                f"group mixes root types {sorted(types)}"
+            )
+            slots = [positions[netlist.driver(net).name] for net in group]
+            assert slots == list(range(slots[0], slots[0] + len(slots))), (
+                "group members are not adjacent netlist lines"
+            )
+
+
+class TestReductionPreservesFunction:
+    @SETTINGS
+    @given(random_netlists(), st.data())
+    def test_consistent_vectors_agree(self, built, data):
+        netlist, nets = built
+        internal = [n for n in nets[4:]]
+        count = data.draw(
+            st.integers(min_value=1, max_value=min(2, len(internal))),
+            label="num_assigned",
+        )
+        assigned = {}
+        for i in range(count):
+            net = data.draw(st.sampled_from(internal), label=f"net{i}")
+            assigned[net] = data.draw(
+                st.integers(min_value=0, max_value=1), label=f"value{i}"
+            )
+        try:
+            reduced = reduce_netlist(netlist, assigned).netlist
+        except InfeasibleAssignment:
+            # Contradictory seed values — the pipeline skips these too.
+            return
+        sources = list(netlist.primary_inputs)
+        observable = [
+            n for n in netlist.primary_outputs if n not in assigned
+        ]
+        for bits in itertools.product((0, 1), repeat=len(sources)):
+            vector = dict(zip(sources, bits))
+            original = evaluate_combinational(netlist, vector)
+            if any(original.get(n) != v for n, v in assigned.items()):
+                continue  # inconsistent with the assignment
+            after = evaluate_combinational(reduced, vector)
+            for net in observable:
+                assert original[net] == after[net], (
+                    f"reduction under {assigned} changed {net}: "
+                    f"{original[net]} -> {after[net]}"
+                )

@@ -1,0 +1,116 @@
+"""Generator invariants: determinism, ground truth, plan serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.generator import (
+    BASE_FULL_REGIMES,
+    OURS_FULL_REGIMES,
+    REGIMES,
+    GeneratorConfig,
+    SamplePlan,
+    build_sample,
+    generate,
+    plan_sample,
+    sample_seed,
+)
+
+
+class TestSampleSeed:
+    def test_deterministic(self):
+        assert sample_seed(0, 7) == sample_seed(0, 7)
+
+    def test_decorrelated_across_indices(self):
+        seeds = {sample_seed(0, i) for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_decorrelated_across_campaigns(self):
+        assert sample_seed(0, 1) != sample_seed(1, 0)
+
+
+class TestPlan:
+    def test_plan_is_deterministic(self):
+        assert plan_sample(1234) == plan_sample(1234)
+
+    def test_plan_round_trips_through_dict(self):
+        for index in range(5):
+            plan = plan_sample(sample_seed(3, index))
+            assert SamplePlan.from_dict(plan.as_dict()) == plan
+
+    def test_word_count_respects_config(self):
+        config = GeneratorConfig(min_words=2, max_words=3)
+        for index in range(10):
+            plan = plan_sample(sample_seed(0, index), config)
+            assert 2 <= len(plan.words) <= 3
+            # One separator per word keeps neighbouring words apart.
+            assert len(plan.separators) == len(plan.words)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(min_width=1)
+        with pytest.raises(ValueError):
+            GeneratorConfig(max_width=20, bus_width=16)
+        with pytest.raises(ValueError):
+            GeneratorConfig(min_words=5, max_words=3)
+        with pytest.raises(ValueError):
+            GeneratorConfig(regime_weights=(("bogus", 1.0),))
+
+
+class TestBuild:
+    def test_build_is_deterministic(self):
+        a = generate(sample_seed(0, 2))
+        b = generate(sample_seed(0, 2))
+        assert a.netlist == b.netlist
+        assert a.truth == b.truth
+
+    def test_truth_bits_are_ff_d_inputs(self):
+        sample = generate(sample_seed(0, 1))
+        d_inputs = {ff.inputs[0] for ff in sample.netlist.flip_flops()}
+        for word in sample.truth:
+            assert word.bits, f"{word.register} has no bits"
+            for bit in word.bits:
+                assert bit in d_inputs
+
+    def test_truth_covers_every_planned_word(self):
+        plan = plan_sample(sample_seed(0, 4))
+        sample = build_sample(plan)
+        assert {w.register for w in sample.truth} == {
+            w.name for w in plan.words
+        }
+
+    def test_expectation_labels_follow_regime(self):
+        sample = generate(sample_seed(0, 5))
+        for word in sample.truth:
+            assert word.regime in REGIMES
+            assert word.expect_ours == (
+                "full" if word.regime in OURS_FULL_REGIMES else "any"
+            )
+            assert word.expect_base == (
+                "full" if word.regime in BASE_FULL_REGIMES else "any"
+            )
+
+    def test_regime_mix_across_corpus(self):
+        regimes = set()
+        for index in range(15):
+            sample = generate(sample_seed(0, index))
+            regimes.update(w.regime for w in sample.truth)
+        # A healthy corpus exercises most regimes, including the two
+        # families the expectation oracle watches.
+        assert "data" in regimes
+        assert regimes & {"counter", "selected", "alternating", "crossed"}
+        assert len(regimes) >= 6
+
+    def test_shrunk_plan_still_builds(self):
+        from dataclasses import replace
+
+        plan = plan_sample(sample_seed(0, 3))
+        smaller = replace(
+            plan,
+            words=plan.words[:1],
+            separators=plan.separators[:1],
+            decoys=(),
+            datapath_rounds=0,
+        )
+        sample = build_sample(smaller)
+        assert len(sample.truth) == 1

@@ -1,0 +1,66 @@
+"""Oracle-suite behaviour on clean samples and synthetic failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.generator import generate, sample_seed
+from repro.fuzz.oracles import (
+    DEFAULT_ORACLES,
+    OracleContext,
+    OracleVerdict,
+    run_oracles,
+    verify_reductions,
+)
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return generate(sample_seed(0, 0))
+
+
+class TestSuite:
+    def test_clean_sample_passes_all_oracles(self, sample):
+        verdicts = run_oracles(sample)
+        assert [v.oracle for v in verdicts] == [n for n, _ in DEFAULT_ORACLES]
+        failing = [v for v in verdicts if not v.passed]
+        assert not failing, failing
+
+    def test_verdicts_serialize(self, sample):
+        verdict = run_oracles(sample, DEFAULT_ORACLES[:1])[0]
+        payload = verdict.as_dict()
+        assert payload == {
+            "oracle": verdict.oracle,
+            "passed": verdict.passed,
+            "detail": verdict.detail,
+        }
+
+    def test_crashing_oracle_is_a_failure(self, sample):
+        def boom(ctx):
+            raise RuntimeError("kaput")
+
+        verdicts = run_oracles(sample, [("boom", boom)])
+        assert verdicts == [OracleVerdict(
+            "boom", False, "oracle crashed: RuntimeError: kaput"
+        )]
+
+    def test_context_caches_pipeline_runs(self, sample):
+        ctx = OracleContext(sample)
+        assert ctx.ours is ctx.ours
+        assert ctx.base is ctx.base
+
+
+class TestVerifyReductions:
+    def test_committed_reductions_verify(self):
+        # Scan the corpus for a sample whose pipeline committed at least
+        # one assignment, so the check is exercised for real.
+        for index in range(10):
+            sample = generate(sample_seed(0, index))
+            ctx = OracleContext(sample)
+            if any(
+                a.assignments for a in ctx.ours.control_assignments.values()
+            ):
+                problems = verify_reductions(sample.netlist, ctx.ours)
+                assert problems == []
+                return
+        pytest.fail("no corpus sample committed a control assignment")
