@@ -2,8 +2,10 @@
 
 Runs ``identify_words`` on one mid-size ITC99 benchmark (b12 by default)
 and writes ``BENCH_pipeline.json``: per-stage wall-clock, aggregate cache
-hit rates, and the deterministic trace counters.  CI uploads the file as an
-artifact so the perf trajectory of the engine is recorded per commit.
+hit rates, the deterministic trace counters, and the artifact store's
+warm-vs-cold numbers (a cold run that commits to a fresh store, then warm
+probes that load the cached result).  CI uploads the file as an artifact
+so the perf trajectory of the engine is recorded per commit.
 
 Usage::
 
@@ -19,9 +21,11 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import tempfile
 import time
 
 from repro.core.pipeline import PipelineConfig, identify_words
+from repro.store import ArtifactStore, result_digest
 from repro.synth.designs import BENCHMARKS
 
 
@@ -40,6 +44,7 @@ def run(design: str, repeats: int, jobs: int) -> dict:
             best = elapsed
             best_trace = result.trace
     cache = best_trace.cache
+    store_numbers = _bench_store(netlist, config, repeats)
     return {
         "design": design,
         "gates": netlist.num_gates,
@@ -57,7 +62,40 @@ def run(design: str, repeats: int, jobs: int) -> dict:
         },
         "cache": cache.as_dict(),
         "counters": best_trace.counter_dict(),
+        "store": store_numbers,
     }
+
+
+def _bench_store(netlist, config: PipelineConfig, repeats: int) -> dict:
+    """Warm-vs-cold artifact-store numbers on a throwaway store.
+
+    ``cold_seconds`` includes the digest + commit overhead a caching run
+    pays on a miss; ``warm_seconds`` is the best probe-only rerun.  The
+    digests of both results are compared so the benchmark doubles as a
+    cache-correctness smoke check.
+    """
+    with tempfile.TemporaryDirectory(prefix="bench-store-") as root:
+        store = ArtifactStore(root)
+        start = time.perf_counter()
+        cold_result = identify_words(netlist, config, store=store)
+        cold = time.perf_counter() - start
+        warm = None
+        warm_result = None
+        for _ in range(max(repeats, 1)):
+            start = time.perf_counter()
+            warm_result = identify_words(netlist, config, store=store)
+            elapsed = time.perf_counter() - start
+            if warm is None or elapsed < warm:
+                warm = elapsed
+        if warm_result.trace.cache_provenance.get("provenance") != "hit":
+            raise AssertionError("warm rerun did not hit the store")
+        if result_digest(cold_result) != result_digest(warm_result):
+            raise AssertionError("cached result differs from computed one")
+        return {
+            "cold_seconds": cold,
+            "warm_seconds": warm,
+            "speedup": cold / warm if warm else float("inf"),
+        }
 
 
 def main() -> int:
@@ -76,7 +114,9 @@ def main() -> int:
     print(
         f"{payload['design']}: {payload['wall_seconds'] * 1000.0:.1f} ms "
         f"(min of {args.repeats}), "
-        f"key cache {payload['cache_hit_rates']['hash_key']:.1%} -> "
+        f"key cache {payload['cache_hit_rates']['hash_key']:.1%}, "
+        f"store warm {payload['store']['warm_seconds'] * 1000.0:.1f} ms "
+        f"({payload['store']['speedup']:.0f}x) -> "
         f"{args.output}"
     )
     return 0

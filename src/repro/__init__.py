@@ -8,6 +8,10 @@ A faithful, self-contained reproduction of
 
 Subpackages
 -----------
+:mod:`repro.api`
+    **The stable public facade** — start here.  ``Session`` /
+    ``AnalysisReport`` wrap everything below behind one versioned front
+    door.
 :mod:`repro.netlist`
     Gate-level substrate: cell library, netlist model, Verilog/BENCH I/O,
     fanin cones, simulation, validation.
@@ -15,38 +19,55 @@ Subpackages
     The paper's algorithm: adjacency grouping, hash-key partial matching,
     relevant-control-signal discovery, circuit reduction, the Figure 2
     pipeline — plus the shape-hashing baseline [6].
+:mod:`repro.store`
+    Content-addressed artifact store: cached parses, results, and traces
+    keyed by (content SHA-256, config fingerprint, pipeline version).
+:mod:`repro.batch`
+    Multi-process corpus analysis over a shared store (``repro batch``).
 :mod:`repro.synth`
     The synthesis flow and ITC99-like benchmark designs standing in for
-    the paper's commercial netlists (word-level RTL IR, lowering,
-    optimization, mapping, flattening, Trojan insertion).
+    the paper's commercial netlists.
 :mod:`repro.eval`
     Golden-reference extraction, the full/partial/not-found metrics, and
-    the Table 1 runner (``python -m repro.eval.runner``).
+    the Table 1 runner (``repro table1``).
 
 Quick start
 -----------
->>> from repro import identify_words, shape_hashing
->>> from repro.synth.designs import BENCHMARKS
->>> netlist = BENCHMARKS["b03"]()
->>> ours = identify_words(netlist)      # the paper's technique
->>> base = shape_hashing(netlist)       # the comparison baseline
+::
+
+    from repro.api import Session
+
+    session = Session(store=".repro-cache")   # store=None disables caching
+    report = session.analyze("design.v")      # a path or a Netlist
+    report.words, report.cache                # ..., "miss" ("hit" on rerun)
+
+The historical entry points ``repro.identify_words`` and
+``repro.shape_hashing`` still work but are deprecated in favour of the
+facade (the un-deprecated originals live on in :mod:`repro.core`).
 """
 
+import warnings as _warnings
+
+from .api import AnalysisReport, Session
 from .core import (
     IdentificationResult,
     PipelineConfig,
     Word,
-    identify_words,
-    shape_hashing,
 )
+from .core import identify_words as _identify_words
+from .core import shape_hashing as _shape_hashing
 from .eval import evaluate, extract_reference_words, run_benchmark
 from .netlist import Netlist, NetlistBuilder, parse_verilog, write_verilog
+from .store import ArtifactStore
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisReport",
+    "ArtifactStore",
     "IdentificationResult",
     "PipelineConfig",
+    "Session",
     "Word",
     "identify_words",
     "shape_hashing",
@@ -59,3 +80,33 @@ __all__ = [
     "write_verilog",
     "__version__",
 ]
+
+
+def identify_words(*args, **kwargs):
+    """Deprecated alias for :func:`repro.core.identify_words`.
+
+    Prefer ``repro.api.Session().analyze(...)`` — it adds artifact-store
+    caching and returns a stable, versioned :class:`AnalysisReport`.
+    """
+    _warnings.warn(
+        "repro.identify_words is deprecated; use repro.api.Session.analyze "
+        "(or import repro.core.identify_words directly)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _identify_words(*args, **kwargs)
+
+
+def shape_hashing(*args, **kwargs):
+    """Deprecated alias for :func:`repro.core.shape_hashing`.
+
+    Prefer ``repro.api.Session(baseline=True).analyze(...)``.
+    """
+    _warnings.warn(
+        "repro.shape_hashing is deprecated; use "
+        "repro.api.Session(baseline=True).analyze "
+        "(or import repro.core.shape_hashing directly)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _shape_hashing(*args, **kwargs)

@@ -1,0 +1,7 @@
+"""``python -m repro`` — the umbrella CLI (see :mod:`repro.main`)."""
+
+import sys
+
+from .main import main
+
+sys.exit(main())

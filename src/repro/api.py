@@ -1,0 +1,334 @@
+"""The stable public facade: one front door for every caller.
+
+Everything a downstream user needs lives behind two names::
+
+    from repro.api import Session
+
+    session = Session(store=".repro-cache")      # or store=None: no cache
+    report = session.analyze("design.v")         # path, or a Netlist
+    print(report.words, report.cache)            # ("hit" on a warm rerun)
+
+    reports = session.analyze_many(paths, jobs=4)   # multi-process corpus
+
+:class:`Session` owns an optional
+:class:`~repro.store.ArtifactStore` handle plus a
+:class:`~repro.core.pipeline.PipelineConfig`, and every analysis returns a
+frozen :class:`AnalysisReport` — a versioned, serializable bundle of
+words, trace, diagnostics, and cache provenance.  The facade is the
+compatibility contract: the modules underneath
+(:mod:`repro.core`, :mod:`repro.store`, :mod:`repro.batch`) may be
+refactored freely, but ``Session`` / ``AnalysisReport`` only change with
+a deprecation cycle, and their JSON forms only change with a
+``schema_version`` bump.
+
+The old entry points (``repro.identify_words`` / ``repro.shape_hashing``
+at the package top level) still work but emit a ``DeprecationWarning``
+pointing here.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .core.baseline import baseline_config
+from .core.pipeline import PipelineConfig, identify_words
+from .core.words import IdentificationResult
+from .netlist.bench import parse_bench
+from .netlist.netlist import Netlist
+from .netlist.verilog import parse_verilog
+from .schema import stamp
+from .store import ArtifactStore, file_digest, netlist_digest, result_digest
+
+__all__ = ["AnalysisReport", "Session"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Everything one analysis produced, as an immutable record.
+
+    ``cache`` is the provenance of the result: ``"hit"`` (loaded from the
+    artifact store), ``"miss"`` (computed and committed), or ``"off"``
+    (no store configured).  ``digest`` is the content digest the store
+    key was (or would have been) derived from.  ``result`` keeps the full
+    :class:`~repro.core.words.IdentificationResult` for callers that need
+    the rich objects; it is excluded from equality so reports compare on
+    their deterministic content.
+    """
+
+    design: str
+    source: Optional[str]
+    digest: str
+    cache: str
+    key: Optional[str]
+    num_gates: int
+    num_nets: int
+    num_ffs: int
+    words: Tuple[Tuple[str, ...], ...]
+    singletons: Tuple[str, ...]
+    control_signals: Tuple[str, ...]
+    diagnostics: Tuple[Dict, ...]
+    trace: Dict
+    runtime_seconds: float
+    result: IdentificationResult = field(compare=False, repr=False)
+
+    @property
+    def result_digest(self) -> str:
+        """Digest of the deterministic result content (see repro.store)."""
+        return result_digest(self.result)
+
+    def as_dict(self) -> Dict:
+        """Versioned JSON-ready form (``schema_version`` stamped)."""
+        return stamp({
+            "design": self.design,
+            "source": self.source,
+            "digest": self.digest,
+            "cache": self.cache,
+            "key": self.key,
+            "netlist": {
+                "name": self.design,
+                "gates": self.num_gates,
+                "nets": self.num_nets,
+                "flip_flops": self.num_ffs,
+            },
+            "words": [list(bits) for bits in self.words],
+            "singletons": list(self.singletons),
+            "control_signals": list(self.control_signals),
+            "control_assignments": [
+                {"word": list(word.bits), "assignment": assignment.as_dict()}
+                for word, assignment in
+                self.result.control_assignments.items()
+            ],
+            "diagnostics": [dict(d) for d in self.diagnostics],
+            "result_digest": self.result_digest,
+            "runtime_seconds": self.runtime_seconds,
+            "trace": dict(self.trace),
+        })
+
+
+class Session:
+    """A configured analysis context: config + (optional) artifact store.
+
+    ``config``
+        The :class:`PipelineConfig` every analysis uses (default: paper
+        settings).  ``baseline=True`` swaps in the shape-hashing baseline
+        configuration instead.
+    ``store``
+        ``None`` (no caching), a directory path (an
+        :class:`~repro.store.ArtifactStore` is opened there), or an
+        existing store instance.  One store may back many sessions and
+        many processes at once.
+    ``max_store_bytes``
+        LRU cap forwarded when ``store`` is a path.
+
+    Sessions are cheap; hold one per configuration.  ``analyze`` accepts
+    either a filesystem path (cheapest: a warm store hit skips parsing
+    entirely, keyed on the raw file bytes) or an in-memory
+    :class:`Netlist` (keyed on its canonical structural form).
+    """
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        store: Union[None, PathLike, ArtifactStore] = None,
+        baseline: bool = False,
+        max_store_bytes: Optional[int] = None,
+    ):
+        if config is None:
+            config = baseline_config() if baseline else PipelineConfig()
+        elif baseline and config.allow_partial:
+            raise ValueError(
+                "baseline=True requires allow_partial=False; "
+                "use baseline_config() or drop the flag"
+            )
+        self.config = config
+        if store is None or isinstance(store, ArtifactStore):
+            self.store = store
+        else:
+            self.store = ArtifactStore(
+                os.fspath(store), max_bytes=max_store_bytes
+            )
+
+    # ------------------------------------------------------------------
+    # single-design analysis
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        source: Union[PathLike, Netlist],
+        format: Optional[str] = None,
+    ) -> AnalysisReport:
+        """Identify words in one design; cached when a store is attached."""
+        if isinstance(source, Netlist):
+            return self._analyze_netlist(source)
+        return self._analyze_path(os.fspath(source), format)
+
+    def _analyze_netlist(
+        self, netlist: Netlist, source: Optional[str] = None
+    ) -> AnalysisReport:
+        digest = netlist_digest(netlist)
+        result = identify_words(netlist, self.config, store=self.store)
+        return self._report(netlist, digest, result, source)
+
+    def _analyze_path(
+        self, path: str, format: Optional[str]
+    ) -> AnalysisReport:
+        digest = file_digest(path)
+        if self.store is not None:
+            cached = self.store.probe_result(digest, self.config)
+            if cached is not None:
+                envelope = self.store.get(cached.trace.cache_provenance["key"])
+                summary = (envelope or {}).get("netlist", {})
+                return AnalysisReport(
+                    design=summary.get("name", _design_name(path)),
+                    source=path,
+                    digest=digest,
+                    cache="hit",
+                    key=cached.trace.cache_provenance["key"],
+                    num_gates=summary.get("gates", 0),
+                    num_nets=summary.get("nets", 0),
+                    num_ffs=summary.get("flip_flops", 0),
+                    words=tuple(w.bits for w in cached.words),
+                    singletons=tuple(cached.singletons),
+                    control_signals=cached.control_signals,
+                    diagnostics=tuple(cached.trace.preflight),
+                    trace=cached.trace.as_dict(),
+                    runtime_seconds=cached.runtime_seconds,
+                    result=cached,
+                )
+        netlist = self.load_netlist(path, format)
+        result = identify_words(netlist, self.config)
+        key = None
+        cache = "off"
+        if self.store is not None:
+            key = self.store.commit_result(
+                digest,
+                self.config,
+                result,
+                netlist_summary={
+                    "name": netlist.name,
+                    "gates": netlist.num_gates,
+                    "nets": netlist.num_nets,
+                    "flip_flops": netlist.num_ffs,
+                },
+            )
+            cache = "miss"
+        return self._report(netlist, digest, result, path, cache, key)
+
+    def _report(
+        self,
+        netlist: Netlist,
+        digest: str,
+        result: IdentificationResult,
+        source: Optional[str] = None,
+        cache: Optional[str] = None,
+        key: Optional[str] = None,
+    ) -> AnalysisReport:
+        if cache is None:
+            provenance = result.trace.cache_provenance
+            cache = provenance.get("provenance", "off")
+            key = provenance.get("key")
+        return AnalysisReport(
+            design=netlist.name,
+            source=source,
+            digest=digest,
+            cache=cache,
+            key=key,
+            num_gates=netlist.num_gates,
+            num_nets=netlist.num_nets,
+            num_ffs=netlist.num_ffs,
+            words=tuple(w.bits for w in result.words),
+            singletons=tuple(result.singletons),
+            control_signals=result.control_signals,
+            diagnostics=tuple(result.trace.preflight),
+            trace=result.trace.as_dict(),
+            runtime_seconds=result.runtime_seconds,
+            result=result,
+        )
+
+    # ------------------------------------------------------------------
+    # corpus analysis
+    # ------------------------------------------------------------------
+    def analyze_many(
+        self,
+        sources: Sequence[Union[PathLike, Netlist]],
+        jobs: int = 1,
+    ) -> List[AnalysisReport]:
+        """Analyze a corpus; ``jobs > 1`` shards paths across processes.
+
+        Reports come back in input order regardless of completion order.
+        In-memory netlists always run in this process (they are not
+        shipped across the process boundary); path sources fan out to a
+        :class:`~concurrent.futures.ProcessPoolExecutor` sharing this
+        session's store, so a rerun — or a duplicate file — is a cache
+        hit in any worker.
+        """
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        sources = list(sources)
+        paths = [
+            (index, os.fspath(source))
+            for index, source in enumerate(sources)
+            if not isinstance(source, Netlist)
+        ]
+        reports: List[Optional[AnalysisReport]] = [None] * len(sources)
+        if jobs > 1 and len(paths) > 1:
+            store_root = self.store.root if self.store is not None else None
+            max_workers = min(jobs, len(paths))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = {
+                    pool.submit(
+                        _analyze_path_task, path, self.config, store_root
+                    ): index
+                    for index, path in paths
+                }
+                for future, index in futures.items():
+                    reports[index] = future.result()
+        else:
+            for index, path in paths:
+                reports[index] = self.analyze(path)
+        for index, source in enumerate(sources):
+            if isinstance(source, Netlist):
+                reports[index] = self.analyze(source)
+        return [report for report in reports if report is not None]
+
+    # ------------------------------------------------------------------
+    # supporting queries
+    # ------------------------------------------------------------------
+    def load_netlist(
+        self, path: PathLike, format: Optional[str] = None
+    ) -> Netlist:
+        """Parse a netlist file, going through the store's parse cache."""
+        path = os.fspath(path)
+        digest = file_digest(path)
+        if self.store is not None:
+            cached = self.store.probe_netlist(digest)
+            if cached is not None:
+                return cached
+        if format is None:
+            format = "bench" if path.endswith(".bench") else "verilog"
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        netlist = parse_bench(text) if format == "bench" else parse_verilog(text)
+        if self.store is not None:
+            self.store.commit_netlist(digest, netlist)
+        return netlist
+
+
+def _design_name(path: str) -> str:
+    name = os.path.basename(path)
+    for suffix in (".v", ".bench"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def _analyze_path_task(
+    path: str, config: PipelineConfig, store_root: Optional[str]
+) -> AnalysisReport:
+    """Worker-process entry: rebuild a session and analyze one path."""
+    session = Session(config=config, store=store_root)
+    return session.analyze(path)

@@ -1,0 +1,415 @@
+"""``repro batch`` — multi-process corpus analysis over the artifact store.
+
+Corpus-scale reverse engineering is the normal workload: a researcher has
+a directory of netlists and wants words for all of them, repeatedly, as
+configurations evolve.  This orchestrator shards the corpus across a
+:class:`~concurrent.futures.ProcessPoolExecutor` where every worker opens
+the *same* content-addressed store (:mod:`repro.store`), so
+
+* duplicate designs inside one corpus are analyzed once;
+* a rerun — same files, same config — is pure cache hits and skips both
+  parsing and analysis (the warm path reads one JSON file per design);
+* a config or algorithm change invalidates exactly the affected entries.
+
+Per-design rows are checkpointed through the same fsynced-JSONL journal
+machinery as the Table 1 sweep (:mod:`repro.eval.runner`), so a killed
+batch resumes with ``--resume`` losing at most the designs in flight; a
+journal row is only reused when the file's content digest still matches.
+
+Usage::
+
+    repro batch designs/*.v --store .repro-cache --jobs 8
+    repro batch --corpus-dir designs --store .repro-cache --report out.json
+    repro batch --itc99 corpus --store .repro-cache   # Table 1 benchmarks
+
+The aggregate report carries a ``corpus_digest`` — a digest over every
+design's deterministic result digest — so two runs are byte-identical on
+words/partitions/counters iff their corpus digests match (this is what
+the CI cache job asserts between a cold and a warm run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import hashlib
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .api import AnalysisReport, Session
+from .core.pipeline import PipelineConfig
+from .eval.metrics import evaluate
+from .eval.reference import extract_reference_words
+from .eval.runner import append_journal_entry, load_journal_entries
+from .schema import stamp
+from .store import file_digest
+
+__all__ = ["BatchReport", "analyze_corpus", "itc99_corpus", "main"]
+
+#: Journal path used by ``--resume`` when ``--journal`` is not given.
+DEFAULT_JOURNAL = "batch.journal.jsonl"
+
+
+@dataclass
+class BatchReport:
+    """Everything one corpus run produced: per-design rows + aggregate."""
+
+    rows: List[Dict]
+    aggregate: Dict
+
+    def as_dict(self) -> Dict:
+        return stamp({"rows": self.rows, "aggregate": self.aggregate})
+
+
+def itc99_corpus(directory: str) -> List[str]:
+    """Materialize the Table 1 benchmarks as Verilog files; return paths.
+
+    Files already present are trusted (builders are deterministic), so a
+    warm run touches no synthesis code at all.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths: List[str] = []
+    missing: List[str] = []
+    for name in _itc99_names():
+        path = os.path.join(directory, name + ".v")
+        paths.append(path)
+        if not os.path.exists(path):
+            missing.append(name)
+    if missing:
+        from .netlist.verilog import write_verilog
+        from .synth.designs import BENCHMARKS
+
+        for name in missing:
+            path = os.path.join(directory, name + ".v")
+            staging = path + ".tmp"
+            with open(staging, "w", encoding="utf-8") as handle:
+                handle.write(write_verilog(BENCHMARKS[name]()))
+            os.replace(staging, path)
+    return paths
+
+
+def _itc99_names() -> List[str]:
+    # The Table 1 roster, without importing the heavy design builders.
+    return [
+        "b03", "b04", "b05", "b07", "b08", "b11",
+        "b12", "b13", "b14", "b15", "b17", "b18",
+    ]
+
+
+def _row_from_report(
+    report: AnalysisReport, score: Optional[Dict], wall_seconds: float
+) -> Dict:
+    """One design's journal row / report entry."""
+    return stamp({
+        "path": report.source,
+        "design": report.design,
+        "digest": report.digest,
+        "key": report.key,
+        "cache": report.cache,
+        "gates": report.num_gates,
+        "nets": report.num_nets,
+        "flip_flops": report.num_ffs,
+        "num_words": len(report.words),
+        "words": [list(bits) for bits in report.words],
+        "singletons": list(report.singletons),
+        "control_signals": list(report.control_signals),
+        "counters": dict(report.trace.get("counters", {})),
+        "result_digest": report.result_digest,
+        "runtime_seconds": report.runtime_seconds,
+        "wall_seconds": wall_seconds,
+        "score": score,
+    })
+
+
+def _score_report(session: Session, report: AnalysisReport) -> Optional[Dict]:
+    """Score one analyzed design against its golden register names.
+
+    Returns ``None`` when the design carries no recoverable reference
+    words (nothing to score against is not an error at corpus scale).
+    """
+    netlist = session.load_netlist(report.source)
+    reference = extract_reference_words(netlist)
+    if not reference:
+        return None
+    metrics = evaluate(reference, report.result)
+    return {
+        "num_reference_words": metrics.num_reference_words,
+        "pct_full": metrics.pct_full,
+        "fragmentation_rate": metrics.fragmentation_rate,
+        "pct_not_found": metrics.pct_not_found,
+    }
+
+
+def _corpus_task(
+    path: str,
+    config: PipelineConfig,
+    store_root: Optional[str],
+    score: bool,
+) -> Dict:
+    """Analyze one corpus file (runs inline or in a worker process)."""
+    started = time.perf_counter()
+    session = Session(config=config, store=store_root)
+    report = session.analyze(path)
+    scored = _score_report(session, report) if score else None
+    return _row_from_report(report, scored, time.perf_counter() - started)
+
+
+def _aggregate(rows: Sequence[Dict], wall_seconds: float) -> Dict:
+    hits = sum(1 for row in rows if row["cache"] == "hit")
+    misses = sum(1 for row in rows if row["cache"] == "miss")
+    digest = hashlib.sha256()
+    for row in sorted(rows, key=lambda r: (r["design"], r["digest"])):
+        digest.update(
+            f"{row['design']}\0{row['digest']}\0{row['result_digest']}\n"
+            .encode("utf-8")
+        )
+    return {
+        "designs": len(rows),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "hit_rate": hits / len(rows) if rows else 0.0,
+        "total_words": sum(row["num_words"] for row in rows),
+        "analysis_seconds": sum(row["runtime_seconds"] for row in rows),
+        "wall_seconds": wall_seconds,
+        "corpus_digest": digest.hexdigest(),
+    }
+
+
+def analyze_corpus(
+    paths: Sequence[str],
+    config: Optional[PipelineConfig] = None,
+    store: Optional[str] = None,
+    jobs: int = 1,
+    journal: Optional[str] = None,
+    resume: bool = False,
+    score: bool = False,
+    on_row=None,
+) -> BatchReport:
+    """Analyze every path; returns rows in input order plus the aggregate.
+
+    ``store`` is the artifact-store *directory* (each worker process opens
+    its own handle on it); ``None`` disables caching.  ``journal`` /
+    ``resume`` checkpoint per-design rows exactly like the Table 1 sweep;
+    a journaled row is reused only while its content digest still matches
+    the file on disk.  ``on_row`` is called with each freshly completed
+    row (not for journal-restored ones).
+    """
+    config = config or PipelineConfig()
+    paths = [os.fspath(path) for path in paths]
+    started = time.perf_counter()
+
+    completed: Dict[str, Dict] = {}
+    if journal is not None:
+        if resume:
+            completed = load_journal_entries(journal, key="path")
+        elif os.path.exists(journal):
+            os.remove(journal)  # fresh batch: start the journal over
+
+    rows: List[Optional[Dict]] = [None] * len(paths)
+    pending: List[Tuple[int, str]] = []
+    for index, path in enumerate(paths):
+        entry = completed.get(path)
+        if entry is not None and entry.get("digest") == file_digest(path):
+            entry = dict(entry)
+            entry["cache"] = "journal"
+            rows[index] = entry
+        else:
+            pending.append((index, path))
+
+    if jobs > 1 and len(pending) > 1:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending))
+        ) as pool:
+            futures = {
+                pool.submit(_corpus_task, path, config, store, score): index
+                for index, path in pending
+            }
+            for future in as_completed(futures):
+                row = future.result()
+                rows[futures[future]] = row
+                if journal is not None:
+                    append_journal_entry(journal, row)
+                if on_row is not None:
+                    on_row(row)
+    else:
+        for index, path in pending:
+            row = _corpus_task(path, config, store, score)
+            rows[index] = row
+            if journal is not None:
+                append_journal_entry(journal, row)
+            if on_row is not None:
+                on_row(row)
+
+    final = [row for row in rows if row is not None]
+    return BatchReport(
+        rows=final,
+        aggregate=_aggregate(final, time.perf_counter() - started),
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description="Analyze a corpus of netlists with shared caching "
+        "(content-addressed artifact store + process pool)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="netlist files (.v / .bench)"
+    )
+    parser.add_argument(
+        "--corpus-dir",
+        metavar="DIR",
+        default=None,
+        help="add every *.v and *.bench file under DIR to the corpus",
+    )
+    parser.add_argument(
+        "--itc99",
+        metavar="DIR",
+        default=None,
+        help="materialize the 12 Table 1 benchmarks into DIR (reusing "
+        "files already there) and add them to the corpus",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="artifact-store directory shared by all workers and reruns "
+        "(strongly recommended; without it nothing is cached)",
+    )
+    parser.add_argument(
+        "--max-store-bytes",
+        type=int,
+        metavar="N",
+        default=None,
+        help="LRU cap on the store's total size in bytes",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to shard the corpus across (default 1)",
+    )
+    parser.add_argument(
+        "--depth", type=int, default=4, help="fanin-cone depth (default 4)"
+    )
+    parser.add_argument(
+        "--max-simultaneous",
+        type=int,
+        default=2,
+        help="control signals assigned at once (default 2)",
+    )
+    parser.add_argument(
+        "--score",
+        action="store_true",
+        help="also score each design against its golden register names",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="checkpoint each completed design's row to this JSONL file "
+        f"(--resume defaults it to {DEFAULT_JOURNAL})",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip designs already journaled with an unchanged content "
+        "digest (a killed batch continues where it stopped)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the versioned JSON report ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="print only the aggregate summary",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    paths = list(args.paths)
+    if args.corpus_dir is not None:
+        for pattern in ("*.v", "*.bench"):
+            paths.extend(
+                sorted(glob.glob(os.path.join(args.corpus_dir, pattern)))
+            )
+    if args.itc99 is not None:
+        paths.extend(itc99_corpus(args.itc99))
+    if not paths:
+        print(
+            "error: empty corpus (give paths, --corpus-dir, or --itc99)",
+            file=sys.stderr,
+        )
+        return 2
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        print(f"error: cannot read {missing[0]}", file=sys.stderr)
+        return 2
+    try:
+        config = PipelineConfig(
+            depth=args.depth, max_simultaneous=args.max_simultaneous
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    journal = args.journal
+    if args.resume and journal is None:
+        journal = DEFAULT_JOURNAL
+    if args.store is not None and args.max_store_bytes is not None:
+        # Open once up front so the cap is enforced even with jobs=1.
+        from .store import ArtifactStore
+
+        ArtifactStore(args.store, max_bytes=args.max_store_bytes)
+
+    def announce(row: Dict) -> None:
+        if not args.quiet:
+            print(
+                f"{row['design']}: {row['num_words']} words, "
+                f"{row['cache']}, {row['wall_seconds']:.2f}s"
+            )
+
+    report = analyze_corpus(
+        paths,
+        config,
+        store=args.store,
+        jobs=args.jobs,
+        journal=journal,
+        resume=args.resume,
+        score=args.score,
+        on_row=announce,
+    )
+    agg = report.aggregate
+    print(
+        f"{agg['designs']} designs: {agg['cache_hits']} hits / "
+        f"{agg['cache_misses']} misses ({agg['hit_rate']:.1%} hit rate), "
+        f"{agg['total_words']} words, "
+        f"analysis {agg['analysis_seconds']:.2f}s, "
+        f"wall {agg['wall_seconds']:.2f}s"
+    )
+    print(f"corpus digest {agg['corpus_digest'][:16]}")
+    if args.report is not None:
+        import json
+
+        payload = json.dumps(report.as_dict(), indent=2)
+        if args.report == "-":
+            print(payload)
+        else:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,11 +15,16 @@ This is the tool a downstream user actually runs::
     repro-identify design.v --deadline 30        # wall-clock budget (s)
     repro-identify design.v --budget 500         # assignments per subgroup
     repro-identify design.v --strict             # degradations become errors
+    repro-identify design.v --store .repro-cache # reuse cached results
+
+Also reachable as ``repro identify ...`` via the umbrella entry point
+(:mod:`repro.main`); both spellings share this exact code path.
 
 Exit code 0 on success — including degraded runs, where a deadline or
 budget fired, or a subgroup worker was quarantined, and the partial words
 were still emitted (the degradation reason lands in ``--trace`` /
-``--trace-json``).  Exit 2 on unreadable/unparseable input, and 3 when
+``--trace-json``).  Exit 2 on unreadable/unparseable input or when
+``--score`` finds no golden register names to score against, and 3 when
 ``--strict`` turned a budget violation, pre-flight diagnostic, or worker
 failure into an error.
 """
@@ -40,6 +45,7 @@ from .eval import evaluate, extract_reference_words
 from .netlist import parse_bench, parse_verilog
 from .netlist.bench import BenchError
 from .netlist.verilog import VerilogError
+from .schema import stamp
 
 __all__ = ["main", "build_parser"]
 
@@ -124,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
         "pre-flight warnings) into hard errors (exit 3)",
     )
     parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="artifact-store directory; the result is loaded from it on "
+        "a repeat run and committed to it otherwise (see DESIGN.md §10)",
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="print the per-stage trace: counters, timings, cache hit rates",
@@ -173,7 +186,7 @@ def _report(
     operators,
     args,
 ) -> dict:
-    report = {
+    report = stamp({
         "netlist": {
             "name": netlist.name,
             "gates": netlist.num_gates,
@@ -198,7 +211,7 @@ def _report(
         ],
         "runtime_seconds": result.runtime_seconds,
         "trace": result.trace.as_dict(),
-    }
+    })
     if derived is not None:
         report["propagated_words"] = [list(w.bits) for w in derived]
     if operators is not None:
@@ -244,11 +257,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    store = None
+    if args.store is not None:
+        from .store import ArtifactStore
+
+        store = ArtifactStore(args.store)
     try:
         if args.baseline:
-            result = shape_hashing(netlist, config)
+            result = shape_hashing(netlist, config, store=store)
         else:
-            result = identify_words(netlist, config)
+            result = identify_words(netlist, config, store=store)
     except (BudgetExceeded, PreflightError) as exc:
         print(f"error (strict): {exc}", file=sys.stderr)
         return 3
@@ -307,15 +325,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.score:
         reference = extract_reference_words(netlist)
         if not reference:
-            print("score: no *_reg_<i> register names found to score against")
-        else:
-            metrics = evaluate(reference, result)
+            # A netlist with no recoverable golden register names has
+            # nothing to score against: that is a usage error (exit 2),
+            # not a 0%-accuracy result or a traceback.
             print(
-                f"score vs {len(reference)} golden words: "
-                f"{metrics.pct_full:.1f}% full, "
-                f"fragmentation {metrics.fragmentation_rate:.2f}, "
-                f"{metrics.pct_not_found:.1f}% not found"
+                f"error: --score needs golden words, but {args.netlist} "
+                f"has no *_reg_<i> register names to derive them from",
+                file=sys.stderr,
             )
+            return 2
+        metrics = evaluate(reference, result)
+        print(
+            f"score vs {len(reference)} golden words: "
+            f"{metrics.pct_full:.1f}% full, "
+            f"fragmentation {metrics.fragmentation_rate:.2f}, "
+            f"{metrics.pct_not_found:.1f}% not found"
+        )
 
     if args.verify_reductions:
         from .fuzz.oracles import verify_reductions
@@ -338,7 +363,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {line}")
 
     if args.trace_json is not None:
-        payload = json.dumps(result.trace.as_dict(), indent=2)
+        payload = json.dumps(stamp(result.trace.as_dict()), indent=2)
         if args.trace_json == "-":
             print(payload)
         else:

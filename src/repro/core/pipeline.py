@@ -42,6 +42,7 @@ from typing import Callable, Optional
 from ..netlist.netlist import Netlist
 from .context import AnalysisContext
 from .stages import (
+    PIPELINE_VERSION,
     AnalysisEngine,
     _assignments,
     _emit_partition,
@@ -50,7 +51,7 @@ from .stages import (
 )
 from .words import IdentificationResult
 
-__all__ = ["PipelineConfig", "identify_words"]
+__all__ = ["PIPELINE_VERSION", "PipelineConfig", "identify_words"]
 
 # Re-exported for callers of the pre-stage API (tests, notebooks).
 _assignments = _assignments
@@ -153,6 +154,7 @@ def identify_words(
     netlist: Netlist,
     config: Optional[PipelineConfig] = None,
     context: Optional[AnalysisContext] = None,
+    store=None,
 ) -> IdentificationResult:
     """Run the full word-identification flow on a netlist.
 
@@ -161,6 +163,15 @@ def identify_words(
     repeated analyses (ablations, baseline-vs-ours comparisons, repeated
     service queries) share cone and hash-key caches; by default a fresh
     context is created per call.
+
+    ``store`` — an optional :class:`repro.store.ArtifactStore` (or any
+    object with its ``probe``/``commit`` protocol).  The store is probed
+    before analysis — a hit returns the persisted result without running
+    any stage — and committed to after a clean (non-degraded) run, keyed
+    by the netlist's content digest, the result-affecting configuration
+    fields, and :data:`PIPELINE_VERSION`.  Cached and uncached results are
+    byte-identical on words, partitions, assignments, and counters; only
+    ``trace.cache_provenance`` records which path produced them.
     """
     config = config or PipelineConfig()
-    return AnalysisEngine(config).run(netlist, context=context)
+    return AnalysisEngine(config, store=store).run(netlist, context=context)

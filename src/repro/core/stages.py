@@ -64,6 +64,7 @@ from .resilience import (
 from .words import CacheStats, ControlAssignment, IdentificationResult, Word
 
 __all__ = [
+    "PIPELINE_VERSION",
     "AnalysisEngine",
     "StageArtifacts",
     "SubgroupTask",
@@ -76,6 +77,16 @@ __all__ = [
     "EmissionStage",
     "default_stages",
 ]
+
+
+#: Version of the identification *algorithm* implemented by these stages.
+#: It is baked into every artifact-store cache key (see
+#: :mod:`repro.store.keys`) and into the versioned JSON payloads, so any
+#: change that can alter the words, partitions, counters, or assignments a
+#: run produces MUST bump this constant — that is what invalidates every
+#: previously cached result.  Pure performance work that provably keeps
+#: output byte-identical (the ``jobs`` contract) does not bump it.
+PIPELINE_VERSION = "2.0.0"
 
 
 # ----------------------------------------------------------------------
@@ -477,17 +488,42 @@ def default_stages() -> Tuple[Stage, ...]:
 # ----------------------------------------------------------------------
 
 class AnalysisEngine:
-    """Run the stage graph over a netlist, timing every stage."""
+    """Run the stage graph over a netlist, timing every stage.
+
+    ``store`` — an optional artifact store (anything implementing the
+    ``probe(netlist, config)`` / ``commit(netlist, config, result)``
+    protocol of :class:`repro.store.ArtifactStore`).  ``run`` probes it
+    before executing any stage and returns the cached
+    :class:`IdentificationResult` on a hit; on a miss the freshly computed
+    result is committed back.  Probing is lockless and commit is atomic,
+    so many engines (threads or processes) can share one store.
+    """
 
     def __init__(
         self,
         config: "PipelineConfig",  # noqa: F821
         stages: Optional[Sequence[Stage]] = None,
+        store=None,
     ):
         self.config = config
         self.stages: Tuple[Stage, ...] = tuple(stages or default_stages())
+        self.store = store
 
     def run(
+        self,
+        netlist: Netlist,
+        context: Optional[AnalysisContext] = None,
+    ) -> IdentificationResult:
+        if self.store is not None:
+            cached = self.store.probe(netlist, self.config)
+            if cached is not None:
+                return cached
+        result = self._run_stages(netlist, context)
+        if self.store is not None:
+            self.store.commit(netlist, self.config, result)
+        return result
+
+    def _run_stages(
         self,
         netlist: Netlist,
         context: Optional[AnalysisContext] = None,

@@ -171,6 +171,12 @@ class StageTrace:
     failures: List[SubgroupFailure] = field(default_factory=list)
     deadline_hit: bool = False
     preflight: List[Dict] = field(default_factory=list)
+    # Artifact-store provenance (see repro.store): empty when no store was
+    # consulted, else {"provenance": "hit"|"miss", "key": <cache key>}.
+    # Deliberately outside counter_dict(): it describes how the result was
+    # obtained, not what the result is, so hit and miss runs stay
+    # byte-identical on everything the determinism oracles compare.
+    cache_provenance: Dict[str, str] = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -256,6 +262,7 @@ class StageTrace:
             "deadline_hit": self.deadline_hit,
             "failures": [f.as_dict() for f in self.failures],
             "preflight": list(self.preflight),
+            "cache_provenance": dict(self.cache_provenance),
         }
 
 

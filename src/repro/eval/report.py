@@ -13,6 +13,7 @@ import io
 import json
 from typing import List, Sequence
 
+from ..schema import stamp
 from .table import BenchmarkRow, TechniqueRow
 
 __all__ = [
@@ -41,8 +42,13 @@ def _technique_dict(tech: TechniqueRow) -> dict:
 
 
 def row_to_dict(row: BenchmarkRow) -> dict:
-    """One benchmark row as a JSON-ready dict (the journal entry shape)."""
-    return {
+    """One benchmark row as a JSON-ready dict (the journal entry shape).
+
+    Rows are version-stamped (``schema_version`` / ``pipeline_version``);
+    :func:`row_from_dict` ignores the stamps, so journals written by older
+    versions still resume (their rows simply lack the fields).
+    """
+    return stamp({
         "benchmark": row.name,
         "gates": row.num_gates,
         "nets": row.num_nets,
@@ -51,7 +57,7 @@ def row_to_dict(row: BenchmarkRow) -> dict:
         "avg_word_size": row.avg_word_size,
         "base": _technique_dict(row.base),
         "ours": _technique_dict(row.ours),
-    }
+    })
 
 
 def row_from_dict(entry: dict) -> BenchmarkRow:

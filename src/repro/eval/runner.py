@@ -43,6 +43,8 @@ __all__ = [
     "run_benchmark",
     "run_table1",
     "load_journal",
+    "load_journal_entries",
+    "append_journal_entry",
     "main",
     "BenchmarkRun",
     "DEFAULT_JOURNAL",
@@ -98,9 +100,16 @@ def _technique_row(
 
 
 def run_benchmark(
-    netlist: Netlist, config: Optional[PipelineConfig] = None
+    netlist: Netlist,
+    config: Optional[PipelineConfig] = None,
+    store=None,
 ) -> BenchmarkRun:
-    """Evaluate Base and Ours on one netlist against its golden words."""
+    """Evaluate Base and Ours on one netlist against its golden words.
+
+    ``store`` — an optional :class:`repro.store.ArtifactStore`; Base and
+    Ours results are cached under their own keys (``allow_partial`` is in
+    the fingerprint), so a repeat sweep loads both from disk.
+    """
     config = config or PipelineConfig()
     reference = extract_reference_words(netlist)
     base_config = replace(
@@ -112,8 +121,8 @@ def run_benchmark(
         max_cone_gates=config.max_cone_gates,
         strict=config.strict,
     )
-    base_result = shape_hashing(netlist, base_config)
-    ours_result = identify_words(netlist, config)
+    base_result = shape_hashing(netlist, base_config, store=store)
+    ours_result = identify_words(netlist, config, store=store)
     return BenchmarkRun(
         netlist=netlist,
         reference=reference,
@@ -124,14 +133,17 @@ def run_benchmark(
     )
 
 
-def load_journal(path: str) -> Dict[str, BenchmarkRow]:
-    """Completed rows from a checkpoint journal, keyed by benchmark name.
+def load_journal_entries(path: str, key: str = "benchmark") -> Dict[str, dict]:
+    """Raw entries from a JSONL checkpoint journal, keyed by ``entry[key]``.
 
-    Tolerates a torn final line (the sweep was killed mid-append): the
-    damaged entry is dropped and its benchmark simply re-runs.  A missing
-    journal is an empty sweep, not an error.
+    The generic resume primitive shared by the Table 1 sweep and the
+    ``repro batch`` corpus orchestrator.  Tolerates a torn final line
+    (the run was killed mid-append): the damaged entry is dropped and its
+    unit of work simply re-runs.  A missing journal is an empty run, not
+    an error.  Later duplicates win, so re-running a unit supersedes its
+    old row.
     """
-    completed: Dict[str, BenchmarkRow] = {}
+    completed: Dict[str, dict] = {}
     try:
         with open(path) as handle:
             lines = handle.readlines()
@@ -143,18 +155,33 @@ def load_journal(path: str) -> Dict[str, BenchmarkRow]:
             continue
         try:
             entry = json.loads(line)
-            completed[entry["benchmark"]] = row_from_dict(entry)
+            completed[entry[key]] = entry
         except (ValueError, KeyError, TypeError):
-            continue  # torn or foreign line — re-run that benchmark
+            continue  # torn or foreign line — re-run that unit
+    return completed
+
+
+def append_journal_entry(path: str, entry: dict) -> None:
+    """Append one completed entry and force it to disk (crash-safe)."""
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def load_journal(path: str) -> Dict[str, BenchmarkRow]:
+    """Completed Table 1 rows from a journal, keyed by benchmark name."""
+    completed: Dict[str, BenchmarkRow] = {}
+    for name, entry in load_journal_entries(path, key="benchmark").items():
+        try:
+            completed[name] = row_from_dict(entry)
+        except (KeyError, TypeError):
+            continue  # foreign shape — re-run that benchmark
     return completed
 
 
 def _append_journal(path: str, row: BenchmarkRow) -> None:
-    """Append one completed row and force it to disk (crash-safe)."""
-    with open(path, "a") as handle:
-        handle.write(json.dumps(row_to_dict(row)) + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
+    append_journal_entry(path, row_to_dict(row))
 
 
 def run_table1(
@@ -163,6 +190,7 @@ def run_table1(
     on_run=None,
     journal: Optional[str] = None,
     resume: bool = False,
+    store=None,
 ) -> List[BenchmarkRow]:
     """Synthesize and evaluate the Table 1 benchmarks; returns their rows.
 
@@ -195,7 +223,7 @@ def run_table1(
             rows.append(completed[name])
             continue
         netlist = BENCHMARKS[name]()
-        run = run_benchmark(netlist, config)
+        run = run_benchmark(netlist, config, store=store)
         if on_run is not None:
             on_run(name, run)
         row = run.row()
@@ -270,6 +298,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep continues from the last completed benchmark)",
     )
     parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="artifact-store directory; Base and Ours results are cached "
+        "there, so a repeat sweep reloads instead of recomputing",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", help="also write the rows as JSON"
     )
     parser.add_argument(
@@ -293,12 +328,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for line in run.ours_result.trace.extended_lines():
             print(f"  {line}")
 
+    store = None
+    if args.store is not None:
+        from ..store import ArtifactStore
+
+        store = ArtifactStore(args.store)
     rows = run_table1(
         args.benchmarks or None,
         config,
         on_run=print_trace if args.trace else None,
         journal=journal,
         resume=args.resume,
+        store=store,
     )
     print(render_table(rows))
     if args.json:

@@ -23,6 +23,10 @@ provably must not care about, re-run, compare:
 ``jobs``
     ``jobs=4`` must equal ``jobs=1`` byte for byte: same words in the
     same order, same control assignments, same stage counters.
+``store``
+    cache-on ≡ cache-off: a result committed to the artifact store and
+    probed back is byte-identical to the computed one (the persistence
+    sibling of ``jobs``).
 
 *Differential* — compare techniques/labels:
 
@@ -356,6 +360,47 @@ def _check_expectation(ctx: OracleContext) -> Optional[str]:
     return None
 
 
+def _check_store(ctx: OracleContext) -> Optional[str]:
+    """cache-on ≡ cache-off: the artifact store must round-trip the run.
+
+    Commits the already-computed result to a throwaway store and probes
+    it back; the cached result must be byte-identical to the computed one
+    on words, singletons, assignments, and trace counters (the sibling of
+    the ``jobs=N ≡ jobs=1`` determinism oracle, for the persistence
+    layer).
+    """
+    import tempfile
+
+    from ..store import ArtifactStore, result_digest
+
+    serial = ctx.ours
+
+    def canon(result: IdentificationResult):
+        return (
+            [word.bits for word in result.words],
+            list(result.singletons),
+            {
+                word.bits: control.assignments
+                for word, control in result.control_assignments.items()
+            },
+            result.trace.counter_dict(),
+        )
+
+    with tempfile.TemporaryDirectory(prefix="fuzz-store-") as root:
+        store = ArtifactStore(root)
+        key = store.commit(ctx.sample.netlist, ctx.ours_config, serial)
+        if key is None:
+            return "store refused to commit a clean result"
+        cached = store.probe(ctx.sample.netlist, ctx.ours_config)
+    if cached is None:
+        return "committed result did not probe back (miss after commit)"
+    if canon(cached) != canon(serial):
+        return "cached result differs from the computed one"
+    if result_digest(cached) != result_digest(serial):
+        return "cached result digest differs from the computed one"
+    return None
+
+
 def _check_reduction_functional(ctx: OracleContext) -> Optional[str]:
     problems = verify_reductions(
         ctx.sample.netlist, ctx.ours,
@@ -373,6 +418,7 @@ DEFAULT_ORACLES: Tuple[Tuple[str, Callable[[OracleContext], Optional[str]]], ...
     ("expectation", _check_expectation),
     ("ours_superset", _check_ours_superset),
     ("jobs", _check_jobs),
+    ("store", _check_store),
     ("rename", _check_rename),
     ("reversal", _check_reversal),
     ("bit_permutation", _check_bit_permutation),

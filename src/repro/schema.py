@@ -1,0 +1,49 @@
+"""Versioning of every machine-readable payload the project emits.
+
+All JSON the tools write — ``repro identify --json`` reports,
+``--trace-json`` traces, eval-journal rows, batch reports, and
+artifact-store entries — carries two version fields:
+
+``schema_version``
+    The *shape* of the payload: which fields exist and what they mean.
+    Bump :data:`SCHEMA_VERSION` whenever a field is added, removed, or
+    reinterpreted.  A golden-file test (``tests/test_schema.py``) pins the
+    exact field set of every payload kind against the current version, so
+    a shape change without a bump fails CI.
+
+``pipeline_version``
+    The *algorithm* that produced the payload
+    (:data:`repro.core.stages.PIPELINE_VERSION`).  Bump it when the
+    identification algorithm changes output; it invalidates every cached
+    artifact (the store bakes it into cache keys).
+
+The two move independently: renaming a JSON field bumps the schema but
+not the pipeline; an algorithm fix bumps the pipeline but not the schema.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .core.stages import PIPELINE_VERSION
+
+__all__ = ["SCHEMA_VERSION", "PIPELINE_VERSION", "stamp"]
+
+#: Current payload-shape version (see module docstring for the bump rule).
+SCHEMA_VERSION = 2
+
+
+def stamp(payload: Dict) -> Dict:
+    """Return ``payload`` with the version fields prepended.
+
+    The input mapping is not mutated; version keys already present are
+    overwritten so a re-stamp can never emit stale versions.
+    """
+    stamped = {
+        "schema_version": SCHEMA_VERSION,
+        "pipeline_version": PIPELINE_VERSION,
+    }
+    for key, value in payload.items():
+        if key not in stamped:
+            stamped[key] = value
+    return stamped

@@ -1,0 +1,50 @@
+"""Content-addressed artifact store (DESIGN.md §10).
+
+Persists the expensive products of the pipeline — identification results
+(words, partitions, control assignments, stage traces) and parsed
+netlists — on disk, keyed by ``(content SHA-256, configuration
+fingerprint, pipeline version)``.  Repeat analyses of the same design
+under the same semantics become O(read one JSON file); any change to the
+input bytes, to a result-affecting configuration field, or to
+:data:`~repro.core.stages.PIPELINE_VERSION` changes the key and misses.
+
+The store is shared safely by concurrent threads and processes with no
+locks: writes are atomic (tmp-file + rename), reads self-heal corrupt
+entries into misses, and an optional LRU byte cap bounds disk use.  See
+:mod:`repro.store.disk` for the concurrency model and
+:mod:`repro.store.keys` for key derivation and invalidation rules.
+
+Entry points: :class:`ArtifactStore` plugs into
+:func:`repro.core.pipeline.identify_words` (``store=``), the
+:class:`repro.api.Session` facade, and the ``repro batch`` corpus
+orchestrator.
+"""
+
+from .disk import ArtifactStore, StoreStats
+from .keys import (
+    FINGERPRINT_FIELDS,
+    cache_key,
+    config_fingerprint,
+    file_digest,
+    netlist_digest,
+)
+from .serialize import (
+    UnserializableResult,
+    result_digest,
+    result_from_dict,
+    result_to_dict,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "StoreStats",
+    "FINGERPRINT_FIELDS",
+    "cache_key",
+    "config_fingerprint",
+    "file_digest",
+    "netlist_digest",
+    "UnserializableResult",
+    "result_digest",
+    "result_from_dict",
+    "result_to_dict",
+]

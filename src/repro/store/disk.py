@@ -1,0 +1,345 @@
+"""Disk-backed, content-addressed artifact store.
+
+Layout (everything under one root directory, safe to delete wholesale)::
+
+    <root>/objects/<k[:2]>/<key>.json   one artifact per file
+    <root>/tmp/                         staging area for atomic writes
+
+Concurrency model — no locks anywhere:
+
+* **Writes are atomic.**  An artifact is staged in ``tmp/`` (same
+  filesystem) and published with :func:`os.replace`, so a reader sees
+  either the complete old entry, the complete new entry, or no entry —
+  never a torn file.  Two processes committing the same key race
+  harmlessly: both payloads are byte-identical by the determinism
+  contract, and last-replace-wins.
+* **Reads are lockless and self-healing.**  Any entry that fails to
+  parse, fails envelope validation (wrong key, schema, or pipeline
+  version), or was truncated by a crashed writer is treated as a miss,
+  unlinked best-effort, and recomputed by the caller — a corrupt cache
+  can cost time, never correctness.
+* **The size cap is LRU.**  Reads bump the entry's mtime; when a write
+  pushes the store past ``max_bytes``, the oldest-read entries are
+  evicted (never the entry just written).  Eviction tolerates concurrent
+  deletion of the same files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.pipeline import PIPELINE_VERSION, PipelineConfig
+from ..core.words import IdentificationResult
+from ..netlist.netlist import Netlist
+from ..netlist.verilog import write_verilog
+from ..schema import SCHEMA_VERSION, stamp
+from .keys import cache_key, config_fingerprint, netlist_digest
+from .serialize import UnserializableResult, result_from_dict, result_to_dict
+
+__all__ = ["ArtifactStore", "StoreStats"]
+
+
+@dataclass
+class StoreStats:
+    """Per-instance counters (not persisted; a fresh store starts at 0)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    healed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "healed": self.healed,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def _netlist_summary(netlist: Netlist) -> Dict[str, object]:
+    return {
+        "name": netlist.name,
+        "gates": netlist.num_gates,
+        "nets": netlist.num_nets,
+        "flip_flops": netlist.num_ffs,
+    }
+
+
+class ArtifactStore:
+    """Content-addressed cache of pipeline artifacts (see module docstring).
+
+    ``max_bytes`` caps the total size of ``objects/``; ``None`` (default)
+    means unbounded.  One store may be shared by any number of threads
+    and processes simultaneously.
+    """
+
+    def __init__(self, root: str, max_bytes: Optional[int] = None):
+        self.root = os.fspath(root)
+        self.max_bytes = max_bytes
+        self.stats = StoreStats()
+        self._objects = os.path.join(self.root, "objects")
+        self._tmp = os.path.join(self.root, "tmp")
+        os.makedirs(self._objects, exist_ok=True)
+        os.makedirs(self._tmp, exist_ok=True)
+        if max_bytes is not None:
+            self._evict()  # a tightened cap applies to existing entries
+
+    # ------------------------------------------------------------------
+    # generic object layer
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self._objects, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The validated envelope stored under ``key``, or ``None``.
+
+        Corrupt, truncated, foreign, or version-mismatched entries are
+        self-healed: unlinked (best-effort) and reported as a miss.
+        """
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError):
+            self._heal(path)
+            self.stats.misses += 1
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("schema_version") != SCHEMA_VERSION
+            or envelope.get("pipeline_version") != PIPELINE_VERSION
+            or envelope.get("key") != key
+        ):
+            self._heal(path)
+            self.stats.misses += 1
+            return None
+        try:  # LRU bump; losing the race to an eviction is harmless
+            os.utime(path)
+        except OSError:
+            pass
+        self.stats.hits += 1
+        return envelope
+
+    def put(self, key: str, kind: str, fields: Dict) -> None:
+        """Atomically publish an artifact (tmp-file + rename)."""
+        envelope = stamp({"kind": kind, "key": key, **fields})
+        payload = json.dumps(envelope, sort_keys=True) + "\n"
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, staging = tempfile.mkstemp(
+            prefix=key[:8] + ".", suffix=".tmp", dir=self._tmp
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(staging, path)
+        except BaseException:
+            try:
+                os.unlink(staging)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+        if self.max_bytes is not None:
+            self._evict(keep=key)
+
+    def _heal(self, path: str) -> None:
+        try:
+            os.unlink(path)
+            self.stats.healed += 1
+        except OSError:
+            pass
+
+    def _entries(self) -> Iterator[Tuple[str, int, int]]:
+        """``(path, size, mtime_ns)`` for every object currently on disk."""
+        try:
+            shards = os.scandir(self._objects)
+        except OSError:
+            return
+        with shards:
+            for shard in shards:
+                if not shard.is_dir():
+                    continue
+                try:
+                    files = os.scandir(shard.path)
+                except OSError:
+                    continue
+                with files:
+                    for entry in files:
+                        if not entry.name.endswith(".json"):
+                            continue
+                        try:
+                            info = entry.stat()
+                        except OSError:
+                            continue  # evicted by a concurrent process
+                        yield entry.path, info.st_size, info.st_mtime_ns
+
+    def _evict(self, keep: Optional[str] = None) -> None:
+        entries: List[Tuple[str, int, int]] = list(self._entries())
+        total = sum(size for _, size, _ in entries)
+        if self.max_bytes is None or total <= self.max_bytes:
+            return
+        protected = self._path(keep) if keep is not None else None
+        # Oldest access first; path breaks mtime ties deterministically.
+        entries.sort(key=lambda item: (item[2], item[0]))
+        for path, size, _ in entries:
+            if total <= self.max_bytes:
+                break
+            if path == protected:
+                continue
+            try:
+                os.unlink(path)
+                self.stats.evictions += 1
+            except OSError:
+                pass  # already gone — still freed
+            total -= size
+
+    def keys(self) -> List[str]:
+        """Keys of every artifact currently on disk (unordered scan)."""
+        return [
+            os.path.basename(path)[: -len(".json")]
+            for path, _, _ in self._entries()
+        ]
+
+    def total_bytes(self) -> int:
+        return sum(size for _, size, _ in self._entries())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def clear(self) -> None:
+        for path, _, _ in self._entries():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # identification results
+    # ------------------------------------------------------------------
+    def probe(
+        self, netlist: Netlist, config: PipelineConfig
+    ) -> Optional[IdentificationResult]:
+        """Engine hook: the cached result for ``(netlist, config)``."""
+        return self.probe_result(netlist_digest(netlist), config)
+
+    def commit(
+        self,
+        netlist: Netlist,
+        config: PipelineConfig,
+        result: IdentificationResult,
+    ) -> Optional[str]:
+        """Engine hook: persist a freshly computed result."""
+        return self.commit_result(
+            netlist_digest(netlist),
+            config,
+            result,
+            netlist_summary=_netlist_summary(netlist),
+        )
+
+    def probe_result(
+        self, digest: str, config: PipelineConfig
+    ) -> Optional[IdentificationResult]:
+        """The cached result under an already-computed content digest.
+
+        On a hit the result's ``trace.cache_provenance`` records
+        ``{"provenance": "hit", "key": <key>}``.
+        """
+        key = cache_key(digest, config, kind="result")
+        envelope = self.get(key)
+        if envelope is None:
+            return None
+        try:
+            result = result_from_dict(envelope["result"])
+        except (KeyError, TypeError, ValueError):
+            self._heal(self._path(key))
+            return None
+        result.trace.cache_provenance = {"provenance": "hit", "key": key}
+        return result
+
+    def commit_result(
+        self,
+        digest: str,
+        config: PipelineConfig,
+        result: IdentificationResult,
+        netlist_summary: Optional[Dict] = None,
+    ) -> Optional[str]:
+        """Persist a result; returns its key, or ``None`` if uncacheable.
+
+        Degraded results and runs with a ``fault_hook`` installed are
+        refused — both describe the run environment, not the design.  On
+        a successful commit the result's ``trace.cache_provenance``
+        records ``{"provenance": "miss", "key": <key>}``.
+        """
+        if config.fault_hook is not None:
+            return None
+        try:
+            serialized = result_to_dict(result)
+        except UnserializableResult:
+            return None
+        key = cache_key(digest, config, kind="result")
+        self.put(
+            key,
+            "result",
+            {
+                "digest": digest,
+                "config": config_fingerprint(config),
+                "netlist": dict(netlist_summary or {}),
+                "result": serialized,
+            },
+        )
+        result.trace.cache_provenance = {"provenance": "miss", "key": key}
+        return key
+
+    # ------------------------------------------------------------------
+    # parsed netlists
+    # ------------------------------------------------------------------
+    def probe_netlist(self, digest: str) -> Optional[Netlist]:
+        """A previously parsed netlist, reloaded from its canonical form."""
+        from ..netlist.verilog import parse_verilog
+
+        key = cache_key(digest, "", kind="netlist")
+        envelope = self.get(key)
+        if envelope is None:
+            return None
+        try:
+            return parse_verilog(envelope["verilog"])
+        except Exception:
+            self._heal(self._path(key))
+            return None
+
+    def commit_netlist(self, digest: str, netlist: Netlist) -> str:
+        """Persist a parsed netlist as canonical structural Verilog.
+
+        Reparsing the canonical form is cheaper than the original source
+        (comments and formatting are gone) and, more importantly, it is
+        format-independent: a ``.bench`` file's parse is cached the same
+        way as a Verilog one.
+        """
+        key = cache_key(digest, "", kind="netlist")
+        self.put(
+            key,
+            "netlist",
+            {
+                "digest": digest,
+                "netlist": _netlist_summary(netlist),
+                "verilog": write_verilog(netlist),
+            },
+        )
+        return key

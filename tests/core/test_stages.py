@@ -116,8 +116,10 @@ class TestEngineTrace:
             "deadline_hit",
             "failures",
             "preflight",
+            "cache_provenance",
         }
         assert dumped["jobs"] == 2
+        assert dumped["cache_provenance"] == {}  # no store attached
         # A clean run carries an empty resilience record.
         assert dumped["degraded"] is False
         assert dumped["deadline_hit"] is False

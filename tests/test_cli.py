@@ -93,6 +93,60 @@ class TestErrors:
                      "--max-simultaneous", "1"]) == 0
 
 
+class TestScore:
+    def test_no_golden_names_exits_2_with_diagnostic(self, tmp_path, capsys):
+        """Regression: --score on an unscoreable netlist used to fall
+        through to an empty/unhelpful report instead of failing fast."""
+        src = (
+            "module t (a, b, y);\n"
+            "  input a, b;\n"
+            "  output y;\n"
+            "  NAND2 u1 (.A(a), .B(b), .Y(y));\n"
+            "endmodule\n"
+        )
+        path = tmp_path / "noregs.v"
+        path.write_text(src)
+        assert main([str(path), "--score"]) == 2
+        err = capsys.readouterr().err
+        assert "--score needs golden words" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_scoreable_netlist_still_exits_0(self, verilog_path, capsys):
+        assert main([verilog_path, "--score"]) == 0
+        assert "score vs" in capsys.readouterr().out
+
+
+class TestStoreFlag:
+    def test_warm_rerun_prints_identical_report(
+        self, verilog_path, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store")
+        assert main([verilog_path, "--store", store]) == 0
+        cold = capsys.readouterr().out
+        assert main([verilog_path, "--store", store]) == 0
+        warm = capsys.readouterr().out
+        # The cached result carries the original run's timings verbatim,
+        # so hit and miss runs print byte-identical reports.
+        assert warm == cold
+
+    def test_provenance_lands_in_trace_json(
+        self, verilog_path, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store")
+        assert main([verilog_path, "--store", store,
+                     "--trace-json", "-"]) == 0
+        out = capsys.readouterr().out
+        cold = json.loads(out[out.index("{"):])
+        assert cold["cache_provenance"]["provenance"] == "miss"
+        assert main([verilog_path, "--store", store,
+                     "--trace-json", "-"]) == 0
+        out = capsys.readouterr().out
+        warm = json.loads(out[out.index("{"):])
+        assert warm["cache_provenance"]["provenance"] == "hit"
+        assert warm["cache_provenance"]["key"] == \
+            cold["cache_provenance"]["key"]
+
+
 class TestResilienceFlags:
     def test_budget_degrades_with_exit_zero(self, verilog_path, capsys):
         assert main([verilog_path, "--budget", "0"]) == 0

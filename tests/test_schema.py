@@ -1,0 +1,161 @@
+"""Golden-file pinning of every versioned JSON payload the tools emit.
+
+Each machine-readable payload (identify ``--json`` report, ``--trace-json``
+trace, eval-journal row, ``AnalysisReport.as_dict``, batch rows/report,
+artifact-store envelopes) carries ``schema_version`` /
+``pipeline_version`` (see :mod:`repro.schema`).  This module pins the
+exact field set of every payload kind against ``tests/golden/schema.json``
+so that adding, removing, or renaming a field without bumping
+``SCHEMA_VERSION`` fails CI.
+
+After an intentional shape change, bump ``repro.schema.SCHEMA_VERSION``
+and regenerate the golden file::
+
+    PYTHONPATH=src python tests/test_schema.py --regen
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+from repro.api import Session
+from repro.batch import analyze_corpus
+from repro.cli import main as identify_main
+from repro.eval.report import row_to_dict
+from repro.eval.runner import run_benchmark
+from repro.schema import PIPELINE_VERSION, SCHEMA_VERSION, stamp
+from repro.netlist import write_verilog
+from repro.store import ArtifactStore
+
+sys.path.insert(0, os.path.dirname(__file__))
+from fixtures import figure1_netlist  # noqa: E402
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "schema.json")
+
+BUMP_HINT = (
+    "payload shape changed without a schema bump: raise "
+    "repro.schema.SCHEMA_VERSION and regenerate the golden file with "
+    "`PYTHONPATH=src python tests/test_schema.py --regen`"
+)
+
+
+def current_shapes():
+    """Sorted field lists of every payload kind, computed end to end."""
+    netlist, _ = figure1_netlist()
+    shapes = {}
+    with tempfile.TemporaryDirectory(prefix="schema-golden-") as tmp:
+        design = os.path.join(tmp, "fig1.v")
+        with open(design, "w", encoding="utf-8") as handle:
+            handle.write(write_verilog(netlist))
+        report_path = os.path.join(tmp, "report.json")
+        trace_path = os.path.join(tmp, "trace.json")
+
+        # repro identify --json / --trace-json (optional sections forced
+        # on so their fields are pinned too).
+        code = identify_main([
+            design, "--propagate", "--operators",
+            "--json", report_path, "--trace-json", trace_path,
+        ])
+        assert code == 0
+        with open(report_path, encoding="utf-8") as handle:
+            report = json.load(handle)
+        shapes["identify_json"] = sorted(report)
+        shapes["identify_json.netlist"] = sorted(report["netlist"])
+        shapes["identify_json.config"] = sorted(report["config"])
+        with open(trace_path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+        shapes["trace_json"] = sorted(trace)
+        shapes["trace_json.counters"] = sorted(trace["counters"])
+        shapes["trace_json.cache"] = sorted(trace["cache"])
+
+        # Eval-journal row (the Table 1 sweep checkpoint shape).
+        row = row_to_dict(run_benchmark(netlist).row())
+        shapes["journal_row"] = sorted(row)
+        shapes["journal_row.technique"] = sorted(row["ours"])
+
+        # The facade's AnalysisReport and the store's result envelope.
+        store_root = os.path.join(tmp, "store")
+        session = Session(store=store_root)
+        analysis = session.analyze(design)
+        payload = analysis.as_dict()
+        shapes["analysis_report"] = sorted(payload)
+        envelope = ArtifactStore(store_root).get(analysis.key)
+        shapes["store_result_envelope"] = sorted(envelope)
+        shapes["store_result_payload"] = sorted(envelope["result"])
+
+        # repro batch rows and aggregate.
+        batch = analyze_corpus([design], store=store_root)
+        shapes["batch_row"] = sorted(batch.rows[0])
+        shapes["batch_aggregate"] = sorted(batch.aggregate)
+        shapes["batch_report"] = sorted(batch.as_dict())
+    return shapes
+
+
+def load_golden():
+    with open(GOLDEN_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestVersionStamps:
+    def test_schema_version_is_2(self):
+        assert SCHEMA_VERSION == 2
+
+    def test_stamp_prepends_current_versions(self):
+        stamped = stamp({"x": 1, "schema_version": 999})
+        assert stamped["schema_version"] == SCHEMA_VERSION
+        assert stamped["pipeline_version"] == PIPELINE_VERSION
+        assert stamped["x"] == 1
+        assert list(stamped)[:2] == ["schema_version", "pipeline_version"]
+
+    def test_stamp_does_not_mutate_input(self):
+        payload = {"x": 1}
+        stamp(payload)
+        assert payload == {"x": 1}
+
+
+class TestGolden:
+    def test_golden_tracks_schema_version(self):
+        golden = load_golden()
+        assert golden["schema_version"] == SCHEMA_VERSION, (
+            "SCHEMA_VERSION was bumped: regenerate the golden file with "
+            "`PYTHONPATH=src python tests/test_schema.py --regen`"
+        )
+
+    def test_every_payload_shape_matches_golden(self):
+        golden = load_golden()["shapes"]
+        shapes = current_shapes()
+        assert sorted(shapes) == sorted(golden), BUMP_HINT
+        for kind in sorted(shapes):
+            assert shapes[kind] == golden[kind], f"{kind}: {BUMP_HINT}"
+
+    def test_every_top_level_payload_is_stamped(self):
+        golden = load_golden()["shapes"]
+        for kind in (
+            "identify_json",
+            "trace_json",
+            "journal_row",
+            "analysis_report",
+            "store_result_envelope",
+            "batch_row",
+            "batch_report",
+        ):
+            assert "schema_version" in golden[kind], kind
+            assert "pipeline_version" in golden[kind], kind
+
+
+def _regen() -> None:
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    payload = {"schema_version": SCHEMA_VERSION, "shapes": current_shapes()}
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {GOLDEN_PATH} (schema_version {SCHEMA_VERSION})")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)
+        sys.exit(2)
