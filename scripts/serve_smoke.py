@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""CI smoke test for ``repro serve`` (also runnable locally).
+
+Proves, over live TCP against real subprocesses, the three serve
+guarantees DESIGN.md §11 makes:
+
+1. **Byte-identity** — every ITC99 benchmark POSTed to ``/v1/identify``
+   answers the same ``result_digest`` the ``repro identify`` CLI wrote
+   for the same file, and repeat POSTs (b13 x20) hit the shared artifact
+   store (``repro_store_hits_total`` ≥ 1 on ``/metrics``).
+2. **Load shedding** — a server with ``--workers 1 --queue-size 1`` and
+   a held worker sheds a burst of 8 with 429s and answers zero 500s.
+3. **Graceful drain** — both servers exit 0 on SIGTERM.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [--scratch DIR]
+"""
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.batch import itc99_corpus  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+
+BANNER = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(REPO, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    return env
+
+
+def start_server(*args):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0", *args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=_env(),
+    )
+    banner = process.stdout.readline()
+    match = BANNER.search(banner)
+    assert match, f"no banner from repro serve: {banner!r}"
+    client = ServeClient(match.group(1), int(match.group(2)), timeout=300)
+    client.wait_ready(timeout=15)
+    return process, client
+
+
+def drain(process):
+    process.send_signal(signal.SIGTERM)
+    code = process.wait(timeout=60)
+    assert code == 0, f"server exited {code} instead of draining cleanly"
+
+
+def cli_digests(designs, store):
+    """result_digest per design, via the `repro identify` CLI path."""
+    digests = {}
+    for path in designs:
+        report_path = path + ".report.json"
+        subprocess.run(
+            [sys.executable, "-m", "repro.cli", path,
+             "--store", store, "--json", report_path],
+            check=True, env=_env(), stdout=subprocess.DEVNULL,
+        )
+        with open(report_path, encoding="utf-8") as handle:
+            digests[path] = json.load(handle)["result_digest"]
+    return digests
+
+
+def check_byte_identity(scratch):
+    corpus_dir = os.path.join(scratch, "corpus")
+    store = os.path.join(scratch, "store")
+    designs = itc99_corpus(corpus_dir)
+    print(f"[smoke] CLI pass over {len(designs)} ITC99 designs...")
+    expected = cli_digests(designs, store)
+
+    process, client = start_server("--store", store, "--workers", "4")
+    try:
+        for path in designs:
+            status, report = client.identify_path(path)
+            assert status == 200, f"{path}: HTTP {status}: {report}"
+            assert report["result_digest"] == expected[path], (
+                f"{path}: serve digest {report['result_digest']} != "
+                f"CLI digest {expected[path]}"
+            )
+            # Not just equal: *served from* the entry the CLI committed
+            # (the cross-path cache-sharing contract of DESIGN.md §11).
+            assert report["cache"] == "hit", (
+                f"{path}: expected a store hit off the CLI-primed store, "
+                f"got cache={report['cache']!r}"
+            )
+        print(f"[smoke] serve == CLI on all {len(designs)} designs "
+              f"(every one a store hit off the CLI-primed store)")
+
+        b13 = next(p for p in designs if p.endswith("b13.v"))
+        for _ in range(20):
+            status, report = client.identify_path(b13)
+            assert status == 200 and report["cache"] == "hit"
+        hits = client.metric_value("repro_store_hits_total")
+        assert hits and hits >= 1, f"expected store hits, metrics said {hits}"
+        shed = client.metric_value("repro_serve_shed_total")
+        print(f"[smoke] b13 x20 served from store "
+              f"(hits={hits:.0f}, shed={0 if shed is None else shed:.0f})")
+    finally:
+        drain(process)
+    print("[smoke] byte-identity server drained cleanly")
+
+
+def check_load_shedding(scratch):
+    design = os.path.join(scratch, "corpus", "b13.v")
+    with open(design, encoding="utf-8") as handle:
+        text = handle.read()
+    process, client = start_server(
+        "--workers", "1", "--queue-size", "1", "--hold-s", "0.3"
+    )
+    statuses, lock = [], threading.Lock()
+
+    def post():
+        status, _ = client.identify(verilog=text)
+        with lock:
+            statuses.append(status)
+
+    try:
+        threads = [threading.Thread(target=post) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+            time.sleep(0.02)
+        for thread in threads:
+            thread.join()
+    finally:
+        drain(process)
+    assert 500 not in statuses, f"internal errors under burst: {statuses}"
+    assert statuses.count(429) > 0, f"no load shedding seen: {statuses}"
+    assert statuses.count(200) >= 1, f"nothing served under burst: {statuses}"
+    print(f"[smoke] burst of 8 on capacity 2: "
+          f"{statuses.count(200)}x200 / {statuses.count(429)}x429, no 500s; "
+          f"shedding server drained cleanly")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scratch", default=None,
+        help="working directory (default: a fresh temp dir)",
+    )
+    args = parser.parse_args()
+    if args.scratch:
+        os.makedirs(args.scratch, exist_ok=True)
+        scratch = args.scratch
+        check_byte_identity(scratch)
+        check_load_shedding(scratch)
+    else:
+        with tempfile.TemporaryDirectory(prefix="serve-smoke-") as scratch:
+            check_byte_identity(scratch)
+            check_load_shedding(scratch)
+    print("[smoke] PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,7 +40,13 @@ from .netlist.bench import parse_bench
 from .netlist.netlist import Netlist
 from .netlist.verilog import parse_verilog
 from .schema import stamp
-from .store import ArtifactStore, file_digest, netlist_digest, result_digest
+from .store import (
+    ArtifactStore,
+    bytes_digest,
+    file_digest,
+    netlist_digest,
+    result_digest,
+)
 
 __all__ = ["AnalysisReport", "Session"]
 
@@ -177,33 +183,101 @@ class Session:
         self, path: str, format: Optional[str]
     ) -> AnalysisReport:
         digest = file_digest(path)
-        if self.store is not None:
-            cached = self.store.probe_result(digest, self.config)
-            if cached is not None:
-                envelope = self.store.get(cached.trace.cache_provenance["key"])
-                summary = (envelope or {}).get("netlist", {})
-                return AnalysisReport(
-                    design=summary.get("name", _design_name(path)),
-                    source=path,
-                    digest=digest,
-                    cache="hit",
-                    key=cached.trace.cache_provenance["key"],
-                    num_gates=summary.get("gates", 0),
-                    num_nets=summary.get("nets", 0),
-                    num_ffs=summary.get("flip_flops", 0),
-                    words=tuple(w.bits for w in cached.words),
-                    singletons=tuple(cached.singletons),
-                    control_signals=cached.control_signals,
-                    diagnostics=tuple(cached.trace.preflight),
-                    trace=cached.trace.as_dict(),
-                    runtime_seconds=cached.runtime_seconds,
-                    result=cached,
-                )
+        cached = self._probe(digest, source=path, fallback_name=path)
+        if cached is not None:
+            return cached
         netlist = self.load_netlist(path, format)
-        result = identify_words(netlist, self.config)
+        return self._analyze_fresh(netlist, digest, path)
+
+    def analyze_text(
+        self,
+        text: str,
+        format: str = "verilog",
+        name: Optional[str] = None,
+    ) -> AnalysisReport:
+        """Identify words in netlist *source text* (no file needed).
+
+        The store key is the digest of the raw UTF-8 bytes — identical to
+        :func:`~repro.store.file_digest` of a file with the same content,
+        so a served request warms (and is warmed by) CLI runs over the
+        same design file.  ``name`` labels the report when the text hits
+        the cache before being parsed.
+        """
+        digest = bytes_digest(text.encode("utf-8"))
+        cached = self._probe(digest, source=None, fallback_name=name)
+        if cached is not None:
+            return cached
+        netlist = parse_bench(text) if format == "bench" else parse_verilog(text)
+        return self._analyze_fresh(netlist, digest, None)
+
+    def analyze_digest(self, digest: str) -> Optional[AnalysisReport]:
+        """The cached report for an already-known content digest, if any.
+
+        Returns ``None`` on a store miss (there is nothing to compute
+        from) or when the session has no store.  This is the serve fast
+        path: a client that knows its design's digest skips shipping the
+        netlist body entirely.
+        """
+        if self.store is None:
+            return None
+        return self._probe(digest, source=None, fallback_name=None)
+
+    def _probe(
+        self,
+        digest: str,
+        source: Optional[str],
+        fallback_name: Optional[str],
+    ) -> Optional[AnalysisReport]:
+        """Build a hit report straight from the store, or ``None``."""
+        if self.store is None:
+            return None
+        cached = self.store.probe_result(digest, self.config)
+        if cached is None:
+            return None
+        key = cached.trace.cache_provenance["key"]
+        envelope = self.store.get(key)
+        summary = (envelope or {}).get("netlist", {})
+        if fallback_name is not None:
+            fallback = _design_name(fallback_name)
+        else:
+            fallback = digest.split(":", 1)[-1][:12]
+        return AnalysisReport(
+            design=summary.get("name", fallback),
+            source=source,
+            digest=digest,
+            cache="hit",
+            key=key,
+            num_gates=summary.get("gates", 0),
+            num_nets=summary.get("nets", 0),
+            num_ffs=summary.get("flip_flops", 0),
+            words=tuple(w.bits for w in cached.words),
+            singletons=tuple(cached.singletons),
+            control_signals=cached.control_signals,
+            diagnostics=tuple(cached.trace.preflight),
+            trace=cached.trace.as_dict(),
+            runtime_seconds=cached.runtime_seconds,
+            result=cached,
+        )
+
+    def _analyze_fresh(
+        self, netlist: Netlist, digest: str, source: Optional[str]
+    ) -> AnalysisReport:
+        """Run the engine and commit the result under ``digest``.
+
+        The engine gets the store too: it probes/commits the canonical
+        ``netlist:`` digest, so a design already analyzed through the
+        engine hook (``repro identify --store``, ``repro batch``) is a
+        hit here even though the raw bytes were never seen before.  The
+        result is then alias-committed under the byte-level ``digest``
+        so the *next* request on these bytes skips parsing entirely.
+        """
+        result = identify_words(netlist, self.config, store=self.store)
         key = None
         cache = "off"
         if self.store is not None:
+            # Read the engine's probe/commit outcome before the alias
+            # commit below overwrites the provenance with its own.
+            cache = result.trace.cache_provenance.get("provenance", "miss")
             key = self.store.commit_result(
                 digest,
                 self.config,
@@ -215,8 +289,7 @@ class Session:
                     "flip_flops": netlist.num_ffs,
                 },
             )
-            cache = "miss"
-        return self._report(netlist, digest, result, path, cache, key)
+        return self._report(netlist, digest, result, source, cache, key)
 
     def _report(
         self,

@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from . import metrics as _metrics
 from .api import AnalysisReport, Session
 from .core.pipeline import PipelineConfig
 from .eval.metrics import evaluate
@@ -157,6 +158,27 @@ def _corpus_task(
     return _row_from_report(report, scored, time.perf_counter() - started)
 
 
+def _publish_row(row: Dict) -> None:
+    """Count one completed corpus row in the installed metrics registry.
+
+    Runs in the orchestrating process as rows arrive, so it also covers
+    rows computed by worker processes (whose own in-process registries
+    are not visible here).
+    """
+    registry = _metrics.current()
+    if registry is None:
+        return
+    registry.counter(
+        "repro_batch_rows_total",
+        "Corpus designs analyzed, by cache provenance",
+        labelnames=("cache",),
+    ).inc(cache=str(row.get("cache", "off")))
+    registry.histogram(
+        "repro_batch_row_seconds",
+        "Wall-clock seconds per corpus design (orchestrator view)",
+    ).observe(float(row.get("wall_seconds", 0.0)))
+
+
 def _aggregate(rows: Sequence[Dict], wall_seconds: float) -> Dict:
     hits = sum(1 for row in rows if row["cache"] == "hit")
     misses = sum(1 for row in rows if row["cache"] == "miss")
@@ -232,6 +254,7 @@ def analyze_corpus(
             for future in as_completed(futures):
                 row = future.result()
                 rows[futures[future]] = row
+                _publish_row(row)
                 if journal is not None:
                     append_journal_entry(journal, row)
                 if on_row is not None:
@@ -240,6 +263,7 @@ def analyze_corpus(
         for index, path in pending:
             row = _corpus_task(path, config, store, score)
             rows[index] = row
+            _publish_row(row)
             if journal is not None:
                 append_journal_entry(journal, row)
             if on_row is not None:
@@ -328,6 +352,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the versioned JSON report ('-' for stdout)",
     )
     parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="install a metrics registry for this run and dump its "
+        "snapshot (stage timings, store counters, per-row counts) as "
+        "versioned JSON ('-' for stdout); with --jobs > 1 only the "
+        "orchestrator-side metrics are captured",
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="print only the aggregate summary",
     )
@@ -367,6 +400,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     journal = args.journal
     if args.resume and journal is None:
         journal = DEFAULT_JOURNAL
+    registry = None
+    if args.metrics_json is not None:
+        registry = _metrics.current() or _metrics.install()
     if args.store is not None and args.max_store_bytes is not None:
         # Open once up front so the cap is enforced even with jobs=1.
         from .store import ArtifactStore
@@ -407,6 +443,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(payload)
         else:
             with open(args.report, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+    if registry is not None:
+        import json
+
+        payload = json.dumps(
+            stamp({"metrics": registry.as_dict()}), indent=2
+        )
+        if args.metrics_json == "-":
+            print(payload)
+        else:
+            with open(args.metrics_json, "w", encoding="utf-8") as handle:
                 handle.write(payload + "\n")
     return 0
 

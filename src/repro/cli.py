@@ -179,6 +179,18 @@ def _load(path: str, fmt: Optional[str]):
     return parse_verilog(text)
 
 
+def _result_digest(result: IdentificationResult) -> str:
+    """Digest of the deterministic result subset (see repro.store).
+
+    Exposed in ``--json`` so external callers — the serve-smoke CI job in
+    particular — can assert the HTTP path and the CLI path produced the
+    same result without diffing the full payload.
+    """
+    from .store import result_digest
+
+    return result_digest(result)
+
+
 def _report(
     netlist,
     result: IdentificationResult,
@@ -209,6 +221,7 @@ def _report(
             {"word": list(word.bits), "assignment": assignment.as_dict()}
             for word, assignment in result.control_assignments.items()
         ],
+        "result_digest": _result_digest(result),
         "runtime_seconds": result.runtime_seconds,
         "trace": result.trace.as_dict(),
     })

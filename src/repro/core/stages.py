@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from .. import metrics as _metrics
 from ..netlist.cone import extract_subcircuit
 from ..netlist.netlist import Netlist
 from ..netlist.validate import diagnose
@@ -578,7 +579,41 @@ class AnalysisEngine:
             )
         result.trace.cache.merge(context.stats)
         result.runtime_seconds = perf_counter() - started
+        self._publish_metrics(result)
         return result
+
+    @staticmethod
+    def _publish_metrics(result: IdentificationResult) -> None:
+        """Aggregate this run into the installed metrics registry.
+
+        A no-op when no registry is installed (the default outside
+        ``repro serve`` / ``--metrics-json`` runs), so :class:`StageTrace`
+        remains the only observability surface and the engine's output
+        stays byte-identical either way — the registry is written *after*
+        the trace is complete and never read by any stage.
+        """
+        registry = _metrics.current()
+        if registry is None:
+            return
+        stage_hist = registry.histogram(
+            "repro_stage_seconds",
+            "Wall-clock seconds per analysis stage",
+            labelnames=("stage",),
+        )
+        for name, seconds in result.trace.stage_seconds.items():
+            stage_hist.observe(seconds, stage=name)
+        registry.histogram(
+            "repro_analysis_seconds",
+            "End-to-end wall-clock seconds per analysis run",
+        ).observe(result.runtime_seconds)
+        registry.counter(
+            "repro_analyses_total", "Completed analysis runs"
+        ).inc()
+        if result.trace.degraded:
+            registry.counter(
+                "repro_degraded_runs_total",
+                "Analysis runs that quarantined at least one degradation",
+            ).inc()
 
     def _preflight(self, art: StageArtifacts) -> None:
         """Validator pre-flight (``PipelineConfig.preflight``).

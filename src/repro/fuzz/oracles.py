@@ -30,6 +30,10 @@ provably must not care about, re-run, compare:
 
 *Differential* — compare techniques/labels:
 
+``serve``
+    In-process ``POST /v1/identify`` ≡ direct ``Session.analyze``: the
+    HTTP service's JSON answer carries exactly the words and result
+    digest of a library call.
 ``ours_superset``
     Any reference word FULL under the baseline is FULL under Ours.
 ``expectation``
@@ -401,6 +405,42 @@ def _check_store(ctx: OracleContext) -> Optional[str]:
     return None
 
 
+def _check_serve(ctx: OracleContext) -> Optional[str]:
+    """HTTP path ≡ library path: ``POST /v1/identify`` on an in-process
+    :class:`~repro.serve.service.AnalysisService` must return exactly the
+    words and result digest a direct analysis produces.
+
+    Exercises the whole serve stack short of the socket — request JSON
+    decode, admission, thread-pool offload, ``Session.analyze_text``,
+    report serialization — against generated designs, so a serialization
+    or text-digest bug shows up long before an integration test would.
+    """
+    from ..api import Session
+    from ..serve.service import AnalysisService
+    from ..store import result_digest
+
+    session = Session(config=ctx.ours_config)
+    service = AnalysisService(session, workers=1, queue_size=1)
+    try:
+        response = service.call(
+            "POST", "/v1/identify",
+            {"verilog": write_verilog(ctx.sample.netlist)},
+        )
+    finally:
+        service.close()
+    if response.status != 200:
+        return f"serve answered {response.status}: {response.body[:160]!r}"
+    served = response.json
+    direct = ctx.ours
+    if served["words"] != [list(word.bits) for word in direct.words]:
+        return "served words differ from direct Session.analyze"
+    if served["singletons"] != list(direct.singletons):
+        return "served singletons differ from direct Session.analyze"
+    if served["result_digest"] != result_digest(direct):
+        return "served result digest differs from the direct analysis"
+    return None
+
+
 def _check_reduction_functional(ctx: OracleContext) -> Optional[str]:
     problems = verify_reductions(
         ctx.sample.netlist, ctx.ours,
@@ -419,6 +459,7 @@ DEFAULT_ORACLES: Tuple[Tuple[str, Callable[[OracleContext], Optional[str]]], ...
     ("ours_superset", _check_ours_superset),
     ("jobs", _check_jobs),
     ("store", _check_store),
+    ("serve", _check_serve),
     ("rename", _check_rename),
     ("reversal", _check_reversal),
     ("bit_permutation", _check_bit_permutation),

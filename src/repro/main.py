@@ -46,6 +46,12 @@ def _batch_main():
     return main
 
 
+def _serve_main():
+    from .serve.server import main
+
+    return main
+
+
 #: Subcommand name -> (one-line help, loader returning its ``main``).
 COMMANDS: Dict[str, Tuple[str, Callable[[], Callable]]] = {
     "identify": (
@@ -63,6 +69,10 @@ COMMANDS: Dict[str, Tuple[str, Callable[[], Callable]]] = {
     "batch": (
         "analyze a corpus with shared caching and worker processes",
         _batch_main,
+    ),
+    "serve": (
+        "run the long-lived analysis HTTP service (alias: repro-serve)",
+        _serve_main,
     ),
 }
 

@@ -1,0 +1,374 @@
+"""Dependency-free operational metrics for the whole pipeline.
+
+A :class:`MetricsRegistry` holds named :class:`Counter` / :class:`Gauge`
+/ :class:`Histogram` instruments.  Every mutation is lock-protected, so
+one registry can be shared by the engine's reduction threads, the serve
+thread pool, and the asyncio event loop at once.  Two snapshot forms:
+
+* :meth:`MetricsRegistry.render` — the Prometheus text exposition format
+  (what ``GET /metrics`` on ``repro serve`` returns);
+* :meth:`MetricsRegistry.as_dict` — a JSON-ready list of samples (what
+  ``repro batch --metrics-json`` dumps).
+
+Publication is *opt-in and global*: instrumented modules
+(:mod:`repro.core.stages`, :mod:`repro.store.disk`, :mod:`repro.batch`,
+:mod:`repro.serve`) call :func:`current` and publish only when a registry
+has been :func:`install`-ed.  When none is installed — the default for
+every CLI except ``repro serve`` and ``--metrics-json`` runs — each
+publication site is a single ``None`` check, and :class:`StageTrace`
+keeps carrying the per-run observability exactly as before.
+
+The instrument set is deliberately small (no summaries, no exemplars,
+fixed buckets) because it has zero dependencies; the exposition format is
+the stable contract, so a real Prometheus scraper consumes it directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "install",
+    "uninstall",
+    "current",
+]
+
+#: Latency buckets (seconds) used when a histogram does not override them.
+#: Spans sub-millisecond stage times up to multi-minute corpus analyses.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+
+def _label_key(
+    labelnames: Tuple[str, ...], labels: Dict[str, str]
+) -> Tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"labels {sorted(labels)} != declared {sorted(labelnames)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    # Prometheus accepts integers and floats; emit ints without ".0" so
+    # counter lines stay byte-stable across snapshot paths.
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_suffix(
+    labelnames: Tuple[str, ...],
+    key: Tuple[str, ...],
+    extra: Sequence[Tuple[str, str]] = (),
+) -> str:
+    pairs = [
+        f'{name}="{_escape_label(value)}"'
+        for name, value in list(zip(labelnames, key)) + list(extra)
+    ]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+class _Metric:
+    """Shared plumbing: one named instrument with labelled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._values: Dict[Tuple[str, ...], object] = {}
+
+    # -- snapshots ----------------------------------------------------
+
+    def samples(self) -> List[Dict[str, object]]:
+        """JSON-ready samples, sorted by label values for determinism."""
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            {
+                "labels": dict(zip(self.labelnames, key)),
+                "value": self._sample_value(value),
+            }
+            for key, value in items
+        ]
+
+    def _sample_value(self, value: object) -> object:
+        return value
+
+    def render_lines(self) -> Iterator[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            yield (
+                f"{self.name}{_labels_suffix(self.labelnames, key)} "
+                f"{_format_value(value)}"  # type: ignore[arg-type]
+            )
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return float(self._values.get(key, 0.0))  # type: ignore
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, in-flight requests)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return float(self._values.get(key, 0.0))  # type: ignore
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, num_buckets: int):
+        self.bucket_counts = [0] * num_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Observations bucketed into fixed upper bounds (latencies)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        self.buckets: Tuple[float, ...] = bounds
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                state = _HistogramState(len(self.buckets))
+                self._values[key] = state
+            assert isinstance(state, _HistogramState)
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    state.bucket_counts[index] += 1
+                    break
+            state.total += value
+            state.count += 1
+
+    def count(self, **labels: str) -> int:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            state = self._values.get(key)
+            return state.count if isinstance(state, _HistogramState) else 0
+
+    def sum(self, **labels: str) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            state = self._values.get(key)
+            return state.total if isinstance(state, _HistogramState) else 0.0
+
+    def _sample_value(self, value: object) -> object:
+        assert isinstance(value, _HistogramState)
+        return {
+            "buckets": {
+                _format_value(bound): count
+                for bound, count in zip(self.buckets, value.bucket_counts)
+            },
+            "sum": value.total,
+            "count": value.count,
+        }
+
+    def render_lines(self) -> Iterator[str]:
+        with self._lock:
+            items = [
+                (key, list(state.bucket_counts), state.total, state.count)
+                for key, state in sorted(self._values.items())
+                if isinstance(state, _HistogramState)
+            ]
+        for key, bucket_counts, total, count in items:
+            cumulative = 0
+            for bound, bucket_count in zip(self.buckets, bucket_counts):
+                cumulative += bucket_count
+                suffix = _labels_suffix(
+                    self.labelnames, key, [("le", _format_value(bound))]
+                )
+                yield f"{self.name}_bucket{suffix} {cumulative}"
+            suffix = _labels_suffix(self.labelnames, key, [("le", "+Inf")])
+            yield f"{self.name}_bucket{suffix} {count}"
+            yield (
+                f"{self.name}_sum{_labels_suffix(self.labelnames, key)} "
+                f"{_format_value(total)}"
+            )
+            yield (
+                f"{self.name}_count{_labels_suffix(self.labelnames, key)} "
+                f"{count}"
+            )
+
+
+class MetricsRegistry:
+    """A named collection of instruments with get-or-create access.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the existing instrument
+    when the name is already registered (so publication sites never need
+    to share handles) and raise on a kind or label-set mismatch — a
+    metric name means one thing everywhere.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, labelnames, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, labelnames, **kwargs)
+                self._metrics[name] = metric
+                return metric
+        if not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        if metric.labelnames != tuple(labelnames):
+            raise ValueError(
+                f"metric {name!r} labels {metric.labelnames} != "
+                f"{tuple(labelnames)}"
+            )
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[_Metric]:
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return iter(metric for _, metric in metrics)
+
+    # -- snapshots ----------------------------------------------------
+
+    def render(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for metric in self:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.render_lines())
+        return "\n".join(lines) + "\n"
+
+    def as_dict(self) -> List[Dict[str, object]]:
+        """JSON-ready snapshot: one entry per metric, sorted by name."""
+        return [
+            {
+                "name": metric.name,
+                "kind": metric.kind,
+                "help": metric.help,
+                "samples": metric.samples(),
+            }
+            for metric in self
+        ]
+
+
+# ----------------------------------------------------------------------
+# global installation
+# ----------------------------------------------------------------------
+
+_install_lock = threading.Lock()
+_installed: Optional[MetricsRegistry] = None
+
+
+def install(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Make ``registry`` (a fresh one by default) the process-wide sink.
+
+    Returns the installed registry.  Installing over an existing registry
+    replaces it — callers that want accumulation pass the old one back.
+    """
+    global _installed
+    with _install_lock:
+        _installed = registry if registry is not None else MetricsRegistry()
+        return _installed
+
+
+def uninstall() -> None:
+    """Stop publishing process-wide (publication sites see ``None``)."""
+    global _installed
+    with _install_lock:
+        _installed = None
+
+
+def current() -> Optional[MetricsRegistry]:
+    """The installed registry, or ``None`` when metrics are off."""
+    return _installed

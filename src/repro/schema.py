@@ -30,7 +30,9 @@ from .core.stages import PIPELINE_VERSION
 __all__ = ["SCHEMA_VERSION", "PIPELINE_VERSION", "stamp"]
 
 #: Current payload-shape version (see module docstring for the bump rule).
-SCHEMA_VERSION = 2
+#: v3: serve response envelopes (identify/batch/error/health), the
+#: ``--metrics-json`` dump, and ``result_digest`` in identify ``--json``.
+SCHEMA_VERSION = 3
 
 
 def stamp(payload: Dict) -> Dict:

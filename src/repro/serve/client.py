@@ -1,0 +1,167 @@
+"""A minimal blocking client for the ``repro serve`` HTTP API.
+
+Stdlib :mod:`http.client` only — the server speaks plain HTTP/1.1, so
+any HTTP client works; this one exists so tests, the CI smoke job, and
+scripted callers do not each hand-roll request bodies.
+
+::
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(port=8100)
+    client.wait_ready(timeout=10)
+    status, report = client.identify_path("designs/b13.v")
+    assert status == 200 and report["result_digest"]
+    print(client.metrics())          # Prometheus text
+
+Every call opens a fresh connection (the server closes after each
+response); a :class:`ServeResult` carries the status code plus the
+decoded JSON (or raw text for ``/metrics``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(ConnectionError):
+    """The server could not be reached (connection refused / timeout)."""
+
+
+class ServeClient:
+    """Blocking HTTP client bound to one server address."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8100, timeout: float = 120.0
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+    ) -> Tuple[int, Union[Dict, str]]:
+        """One request; returns ``(status, decoded body)``.
+
+        JSON bodies decode to dicts; anything else (``/metrics``) comes
+        back as text.  Raises :class:`ServeError` when no server answers.
+        """
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload)
+            headers["Content-Type"] = "application/json"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            content_type = response.getheader("Content-Type", "")
+            if content_type.startswith("application/json"):
+                return response.status, json.loads(raw.decode("utf-8"))
+            return response.status, raw.decode("utf-8")
+        except (ConnectionError, socket.timeout, socket.gaierror, OSError) as exc:
+            raise ServeError(f"{self.host}:{self.port}: {exc}") from exc
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def identify(
+        self,
+        verilog: Optional[str] = None,
+        digest: Optional[str] = None,
+        format: str = "verilog",
+        name: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+        strict: Optional[bool] = None,
+    ) -> Tuple[int, Dict]:
+        payload: Dict = {}
+        if verilog is not None:
+            payload["verilog"] = verilog
+            payload["format"] = format
+        if digest is not None:
+            payload["digest"] = digest
+        if name is not None:
+            payload["name"] = name
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        if strict is not None:
+            payload["strict"] = strict
+        return self.request("POST", "/v1/identify", payload)
+
+    def identify_path(self, path: str, **kwargs) -> Tuple[int, Dict]:
+        """Identify a netlist file (ships its exact bytes as text, so the
+        server-side store key equals the CLI's ``file:`` digest)."""
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        format = "bench" if str(path).endswith(".bench") else "verilog"
+        return self.identify(verilog=text, format=format, **kwargs)
+
+    def batch(
+        self,
+        netlists: List[Dict],
+        deadline_s: Optional[float] = None,
+        strict: Optional[bool] = None,
+    ) -> Tuple[int, Dict]:
+        payload: Dict = {"netlists": netlists}
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        if strict is not None:
+            payload["strict"] = strict
+        return self.request("POST", "/v1/batch", payload)
+
+    def healthz(self) -> Tuple[int, Dict]:
+        return self.request("GET", "/healthz")
+
+    def readyz(self) -> Tuple[int, Dict]:
+        return self.request("GET", "/readyz")
+
+    def metrics(self) -> str:
+        status, text = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(f"/metrics answered {status}")
+        assert isinstance(text, str)
+        return text
+
+    def metric_value(self, line_prefix: str) -> Optional[float]:
+        """The value of the first exposition line starting with a prefix.
+
+        ``client.metric_value("repro_store_hits_total")`` → float or
+        ``None`` when the metric has not been published yet.
+        """
+        for line in self.metrics().splitlines():
+            if line.startswith(line_prefix) and " " in line:
+                try:
+                    return float(line.rsplit(" ", 1)[1])
+                except ValueError:
+                    continue
+        return None
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> bool:
+        """Poll ``/readyz`` until it answers 200; False on timeout."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                status, _ = self.readyz()
+                if status == 200:
+                    return True
+            except ServeError:
+                pass
+            time.sleep(interval)
+        return False

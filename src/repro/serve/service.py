@@ -1,0 +1,360 @@
+"""Transport-independent request handling for the analysis service.
+
+:class:`AnalysisService` owns everything the HTTP layer does not: the
+shared :class:`~repro.api.Session` (one artifact store, one base
+configuration), the CPU thread pool the GIL-bound engine runs on, the
+bounded admission counter, the readiness/drain state machine, and the
+:class:`~repro.metrics.MetricsRegistry` behind ``GET /metrics``.
+
+The socket server (:mod:`repro.serve.server`) feeds it
+``(method, path, body)`` triples; tests and the fuzz ``serve`` oracle
+call :meth:`AnalysisService.call` directly — same admission control,
+same response bytes, no port needed.
+
+Admission model (DESIGN.md §11): at most ``workers`` analyses execute at
+once (the thread pool) and at most ``queue_size`` more may wait.  A
+request beyond ``workers + queue_size`` is shed immediately with 429 —
+the service degrades by refusing work it cannot start soon, never by
+letting latency grow without bound.  ``GET /healthz`` answers as long as
+the process is alive; ``GET /readyz`` flips to 503 the moment a drain
+begins, *before* the listener closes, so load balancers stop routing to
+an instance that will still finish its in-flight work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple, Union
+
+from .. import metrics as _metrics
+from ..api import AnalysisReport, Session
+from ..batch import _aggregate, _row_from_report
+from ..core.resilience import BudgetExceeded, PreflightError
+from ..eval.runner import append_journal_entry
+from ..schema import stamp
+
+__all__ = ["AnalysisService", "Response"]
+
+#: Largest accepted request body (netlist sources are text; 64 MiB covers
+#: every ITC99-scale design with two orders of magnitude to spare).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Response:
+    """One HTTP response, transport-agnostic."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+
+    @property
+    def json(self) -> Dict:
+        return json.loads(self.body.decode("utf-8"))
+
+
+def _json_response(status: int, payload: Dict) -> Response:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return Response(status, body)
+
+
+def _error(status: int, error: str, detail: str = "") -> Response:
+    return _json_response(status, stamp({"error": error, "detail": detail}))
+
+
+class AnalysisService:
+    """The long-lived analysis service behind ``repro serve``.
+
+    ``session``
+        The shared :class:`~repro.api.Session` (configuration + optional
+        artifact store).  Every request without overrides runs under its
+        config; requests carrying ``deadline_s`` / ``strict`` get a
+        derived config over the *same* store, so cache keys are unchanged
+        (neither field is in the store fingerprint).
+    ``workers`` / ``queue_size``
+        Admission bounds: concurrent analyses and waiting requests.
+    ``default_deadline_s`` / ``strict``
+        Per-request defaults applied when the request does not override
+        them.
+    ``journal``
+        Optional JSONL path; every ``/v1/batch`` row is appended there
+        exactly as ``repro batch --journal`` would (fsynced per row).
+    ``hold_s``
+        Artificial per-request delay inside the worker, used by drain
+        and load-shedding tests to hold a slot open deterministically.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        workers: int = 2,
+        queue_size: int = 16,
+        default_deadline_s: Optional[float] = None,
+        strict: bool = False,
+        journal: Optional[str] = None,
+        registry: Optional[_metrics.MetricsRegistry] = None,
+        hold_s: float = 0.0,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_size < 0:
+            raise ValueError("queue_size must be >= 0")
+        self.session = session
+        self.workers = workers
+        self.queue_size = queue_size
+        self.default_deadline_s = default_deadline_s
+        self.strict = strict
+        self.journal = journal
+        self.hold_s = hold_s
+        self.registry = (
+            registry
+            if registry is not None
+            else (_metrics.current() or _metrics.MetricsRegistry())
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._admitted = 0
+        self._draining = False
+        self._started_at = time.monotonic()
+        reg = self.registry
+        self._requests = reg.counter(
+            "repro_serve_requests_total",
+            "Requests handled, by endpoint and status code",
+            labelnames=("endpoint", "status"),
+        )
+        self._latency = reg.histogram(
+            "repro_serve_request_seconds",
+            "Wall-clock seconds per request, by endpoint",
+            labelnames=("endpoint",),
+        )
+        self._queue_depth = reg.gauge(
+            "repro_serve_queue_depth",
+            "Admitted requests waiting for a worker",
+        )
+        self._inflight = reg.gauge(
+            "repro_serve_inflight",
+            "Requests currently executing on the worker pool",
+        )
+        self._shed = reg.counter(
+            "repro_serve_shed_total",
+            "Requests rejected with 429 because the admission queue was full",
+        )
+        self._queue_depth.set(0)
+        self._inflight.set(0)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        return not self._draining
+
+    @property
+    def in_flight(self) -> int:
+        return self._admitted
+
+    def begin_drain(self) -> None:
+        """Stop admitting work; in-flight requests run to completion."""
+        self._draining = True
+
+    def drained(self) -> bool:
+        return self._draining and self._admitted == 0
+
+    def close(self) -> None:
+        """Shut the worker pool down (after the last request finished)."""
+        self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def handle(self, method: str, path: str, body: bytes) -> Response:
+        """Serve one request; never raises (errors become 5xx JSON)."""
+        started = time.perf_counter()
+        endpoint = path.split("?", 1)[0]
+        try:
+            response = await self._route(method, endpoint, body)
+        except Exception as exc:  # the contract: zero unhandled escapes
+            response = _error(
+                500, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        self._requests.inc(endpoint=endpoint, status=str(response.status))
+        self._latency.observe(
+            time.perf_counter() - started, endpoint=endpoint
+        )
+        return response
+
+    def call(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Response:
+        """Blocking convenience wrapper for tests and in-process oracles."""
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        return asyncio.run(self.handle(method, path, body))
+
+    async def _route(self, method: str, path: str, body: bytes) -> Response:
+        if path == "/healthz":
+            if method != "GET":
+                return _error(405, "method_not_allowed", "use GET")
+            return _json_response(200, stamp({
+                "status": "ok",
+                "uptime_seconds": time.monotonic() - self._started_at,
+                "in_flight": self._admitted,
+            }))
+        if path == "/readyz":
+            if method != "GET":
+                return _error(405, "method_not_allowed", "use GET")
+            if self.ready:
+                return _json_response(200, stamp({"status": "ready"}))
+            return _json_response(503, stamp({"status": "draining"}))
+        if path == "/metrics":
+            if method != "GET":
+                return _error(405, "method_not_allowed", "use GET")
+            return Response(
+                200,
+                self.registry.render().encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        if path == "/v1/identify":
+            if method != "POST":
+                return _error(405, "method_not_allowed", "use POST")
+            return await self._admitted_request(body, self._identify)
+        if path == "/v1/batch":
+            if method != "POST":
+                return _error(405, "method_not_allowed", "use POST")
+            return await self._admitted_request(body, self._batch)
+        return _error(404, "not_found", f"no route for {method} {path}")
+
+    # ------------------------------------------------------------------
+    # admission control
+    # ------------------------------------------------------------------
+    async def _admitted_request(self, body: bytes, handler) -> Response:
+        if self._draining:
+            return _error(503, "draining", "service is shutting down")
+        if len(body) > MAX_BODY_BYTES:
+            return _error(413, "body_too_large", f"max {MAX_BODY_BYTES} bytes")
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError) as exc:
+            return _error(400, "bad_json", str(exc))
+        if not isinstance(payload, dict):
+            return _error(400, "bad_json", "request body must be an object")
+        if self._admitted >= self.workers + self.queue_size:
+            self._shed.inc()
+            return _error(
+                429,
+                "overloaded",
+                f"{self._admitted} requests admitted "
+                f"(capacity {self.workers}+{self.queue_size})",
+            )
+        self._admitted += 1
+        self._update_gauges()
+        try:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._pool, self._guarded, handler, payload
+            )
+        finally:
+            self._admitted -= 1
+            self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        self._inflight.set(min(self._admitted, self.workers))
+        self._queue_depth.set(max(0, self._admitted - self.workers))
+
+    def _guarded(self, handler, payload: Dict) -> Response:
+        """Worker-thread wrapper: map analysis failures to statuses."""
+        if self.hold_s > 0:
+            time.sleep(self.hold_s)
+        try:
+            return handler(payload)
+        except BudgetExceeded as exc:
+            status = 408 if exc.reason == "deadline" else 422
+            return _error(status, exc.reason, str(exc))
+        except PreflightError as exc:
+            return _error(422, "preflight", str(exc))
+        except ValueError as exc:  # parse/validation errors (VerilogError…)
+            return _error(400, "bad_netlist", str(exc))
+
+    # ------------------------------------------------------------------
+    # endpoints (run on the worker pool)
+    # ------------------------------------------------------------------
+    def _request_session(self, payload: Dict) -> Session:
+        """The session a request runs under (overrides share the store)."""
+        deadline = payload.get("deadline_s", self.default_deadline_s)
+        strict = bool(payload.get("strict", self.strict))
+        base = self.session.config
+        if deadline == base.deadline_s and strict == base.strict:
+            return self.session
+        config = replace(base, deadline_s=deadline, strict=strict)
+        derived = Session(config=config, store=self.session.store)
+        return derived
+
+    def _analyze_one(self, session: Session, item: Dict) -> AnalysisReport:
+        digest = item.get("digest")
+        text = item.get("verilog")
+        if (digest is None) == (text is None):
+            raise ValueError(
+                "request needs exactly one of 'verilog' or 'digest'"
+            )
+        if digest is not None:
+            if not isinstance(digest, str):
+                raise ValueError("'digest' must be a string")
+            report = session.analyze_digest(digest)
+            if report is None:
+                raise _DigestMiss(digest)
+            return report
+        if not isinstance(text, str):
+            raise ValueError("'verilog' must be a string")
+        format = item.get("format", "verilog")
+        if format not in ("verilog", "bench"):
+            raise ValueError(f"unknown format {format!r}")
+        return session.analyze_text(
+            text, format=format, name=item.get("name")
+        )
+
+    def _identify(self, payload: Dict) -> Response:
+        session = self._request_session(payload)
+        try:
+            report = self._analyze_one(session, payload)
+        except _DigestMiss as miss:
+            return _error(404, "unknown_digest", miss.digest)
+        return _json_response(200, report.as_dict())
+
+    def _batch(self, payload: Dict) -> Response:
+        items = payload.get("netlists")
+        if not isinstance(items, list) or not items:
+            raise ValueError("'netlists' must be a non-empty list")
+        session = self._request_session(payload)
+        started = time.perf_counter()
+        rows = []
+        for item in items:
+            if not isinstance(item, dict):
+                raise ValueError("each netlist entry must be an object")
+            item_started = time.perf_counter()
+            try:
+                report = self._analyze_one(session, item)
+            except _DigestMiss as miss:
+                return _error(404, "unknown_digest", miss.digest)
+            row = _row_from_report(
+                report, None, time.perf_counter() - item_started
+            )
+            if self.journal is not None:
+                append_journal_entry(self.journal, row)
+            rows.append(row)
+        aggregate = _aggregate(rows, time.perf_counter() - started)
+        return _json_response(200, stamp({
+            "rows": rows,
+            "aggregate": aggregate,
+        }))
+
+
+class _DigestMiss(Exception):
+    """Internal: a digest-only request missed the store (→ 404)."""
+
+    def __init__(self, digest: str):
+        self.digest = digest
+        super().__init__(digest)

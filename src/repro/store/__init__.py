@@ -23,6 +23,7 @@ orchestrator.
 from .disk import ArtifactStore, StoreStats
 from .keys import (
     FINGERPRINT_FIELDS,
+    bytes_digest,
     cache_key,
     config_fingerprint,
     file_digest,
@@ -41,6 +42,7 @@ __all__ = [
     "FINGERPRINT_FIELDS",
     "cache_key",
     "config_fingerprint",
+    "bytes_digest",
     "file_digest",
     "netlist_digest",
     "UnserializableResult",

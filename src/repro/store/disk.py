@@ -29,9 +29,11 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from .. import metrics as _metrics
 from ..core.pipeline import PIPELINE_VERSION, PipelineConfig
 from ..core.words import IdentificationResult
 from ..netlist.netlist import Netlist
@@ -45,13 +47,35 @@ __all__ = ["ArtifactStore", "StoreStats"]
 
 @dataclass
 class StoreStats:
-    """Per-instance counters (not persisted; a fresh store starts at 0)."""
+    """Per-instance counters (not persisted; a fresh store starts at 0).
+
+    Counters are bumped through :meth:`bump`, which holds a lock — one
+    store instance is shared by every request of the serve thread pool,
+    and unlocked ``+= 1`` increments would lose counts under that
+    concurrency.  Each bump is also published to the installed
+    :mod:`repro.metrics` registry (``repro_store_<name>_total``), so
+    ``GET /metrics`` sees store traffic without polling instances.
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     evictions: int = 0
     healed: int = 0
+
+    def __post_init__(self):
+        self._lock = threading.Lock()
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Thread-safely increment one counter and publish it."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+        registry = _metrics.current()
+        if registry is not None:
+            registry.counter(
+                f"repro_store_{name}_total",
+                f"Artifact-store {name} across all requests",
+            ).inc(amount)
 
     @property
     def hit_rate(self) -> float:
@@ -114,11 +138,11 @@ class ArtifactStore:
             with open(path, encoding="utf-8") as handle:
                 envelope = json.load(handle)
         except FileNotFoundError:
-            self.stats.misses += 1
+            self.stats.bump("misses")
             return None
         except (OSError, ValueError):
             self._heal(path)
-            self.stats.misses += 1
+            self.stats.bump("misses")
             return None
         if (
             not isinstance(envelope, dict)
@@ -127,13 +151,13 @@ class ArtifactStore:
             or envelope.get("key") != key
         ):
             self._heal(path)
-            self.stats.misses += 1
+            self.stats.bump("misses")
             return None
         try:  # LRU bump; losing the race to an eviction is harmless
             os.utime(path)
         except OSError:
             pass
-        self.stats.hits += 1
+        self.stats.bump("hits")
         return envelope
 
     def put(self, key: str, kind: str, fields: Dict) -> None:
@@ -155,14 +179,14 @@ class ArtifactStore:
             except OSError:
                 pass
             raise
-        self.stats.puts += 1
+        self.stats.bump("puts")
         if self.max_bytes is not None:
             self._evict(keep=key)
 
     def _heal(self, path: str) -> None:
         try:
             os.unlink(path)
-            self.stats.healed += 1
+            self.stats.bump("healed")
         except OSError:
             pass
 
@@ -205,7 +229,7 @@ class ArtifactStore:
                 continue
             try:
                 os.unlink(path)
-                self.stats.evictions += 1
+                self.stats.bump("evictions")
             except OSError:
                 pass  # already gone — still freed
             total -= size

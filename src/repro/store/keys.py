@@ -44,6 +44,7 @@ from ..netlist.verilog import write_verilog
 
 __all__ = [
     "FINGERPRINT_FIELDS",
+    "bytes_digest",
     "cache_key",
     "config_fingerprint",
     "file_digest",
@@ -78,6 +79,16 @@ def netlist_digest(netlist: Netlist) -> str:
     """Content digest of an in-memory netlist (canonical Verilog form)."""
     text = write_verilog(netlist)
     return "netlist:" + hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def bytes_digest(data: bytes) -> str:
+    """Content digest of in-memory netlist source bytes.
+
+    Shares the ``file:`` digest space deliberately: a netlist body POSTed
+    to ``repro serve`` whose bytes equal a file on disk hits the entry a
+    CLI run of that file committed, and vice versa.
+    """
+    return "file:" + hashlib.sha256(data).hexdigest()
 
 
 def file_digest(path: str) -> str:

@@ -1,0 +1,184 @@
+"""Socket-layer tests: a real ``repro serve`` subprocess on a TCP port.
+
+These pin the operational contract of DESIGN.md §11 end to end — the
+HTTP framing, the ServeClient, and the graceful-shutdown sequence: on
+SIGTERM ``/readyz`` flips to 503 *first* (while the listener is still
+up), the in-flight request finishes and ships its response, and only
+then does the listener close and the process exit 0.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.netlist import write_verilog
+from repro.serve.client import ServeClient, ServeError
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from fixtures import figure1_netlist  # noqa: E402
+
+BANNER = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+def _spawn(*extra_args):
+    """Start `repro serve` on a free port; returns (process, client)."""
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src"
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 15
+    banner = ""
+    while time.monotonic() < deadline:
+        banner = process.stdout.readline()
+        if banner:
+            break
+        if process.poll() is not None:
+            raise RuntimeError("server died before printing its banner")
+    match = BANNER.search(banner)
+    if match is None:
+        process.kill()
+        raise RuntimeError(f"unexpected banner: {banner!r}")
+    client = ServeClient(match.group(1), int(match.group(2)), timeout=30)
+    client.wait_ready(timeout=10)
+    return process, client
+
+
+def _terminate(process, timeout=15):
+    """SIGTERM and reap; returns the exit code."""
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait()
+        pytest.fail("server did not drain within the timeout")
+    return process.returncode
+
+
+@pytest.fixture()
+def verilog_text():
+    netlist, _ = figure1_netlist()
+    return write_verilog(netlist)
+
+
+class TestSocketRoundTrip:
+    def test_identify_over_tcp_matches_the_library(self, tmp_path,
+                                                   verilog_text):
+        design = tmp_path / "fig1.v"
+        design.write_text(verilog_text)
+        process, client = _spawn("--store", str(tmp_path / "store"))
+        try:
+            status, report = client.identify_path(str(design))
+            assert status == 200
+            from repro.api import Session
+
+            direct = Session().analyze(figure1_netlist()[0])
+            assert report["result_digest"] == direct.result_digest
+
+            # Same bytes again: served from the shared artifact store.
+            status, again = client.identify(verilog=verilog_text)
+            assert status == 200 and again["cache"] == "hit"
+            assert client.metric_value("repro_store_hits_total") >= 1
+
+            status, health = client.healthz()
+            assert status == 200 and health["status"] == "ok"
+            assert client.readyz()[0] == 200
+            assert "repro_serve_requests_total" in client.metrics()
+        finally:
+            assert _terminate(process) == 0
+
+    def test_batch_over_tcp_with_journal(self, tmp_path, verilog_text):
+        journal = tmp_path / "journal.jsonl"
+        process, client = _spawn("--journal", str(journal))
+        try:
+            status, payload = client.batch(
+                [{"verilog": verilog_text}, {"verilog": verilog_text}]
+            )
+            assert status == 200
+            assert payload["aggregate"]["designs"] == 2
+            assert len(journal.read_text().strip().splitlines()) == 2
+        finally:
+            assert _terminate(process) == 0
+
+
+class TestGracefulShutdown:
+    def test_sigterm_finishes_in_flight_and_refuses_new_work(
+        self, verilog_text
+    ):
+        """The drain sequence, observed from outside: readyz flips to
+        503 while a held request is still executing, that request still
+        completes with 200, and the process exits 0."""
+        process, client = _spawn("--workers", "1", "--hold-s", "1.0")
+        result = {}
+
+        def held_post():
+            result["response"] = client.identify(verilog=verilog_text)
+
+        poster = threading.Thread(target=held_post)
+        poster.start()
+        time.sleep(0.3)  # the request is now held inside its worker
+        process.send_signal(signal.SIGTERM)
+        time.sleep(0.2)
+
+        # Drain has begun but the listener is still up: readyz answers
+        # 503 and new analysis work is refused, all over live TCP.
+        status, body = client.readyz()
+        assert status == 503 and body["status"] == "draining"
+        refused_status, refused = client.identify(verilog=verilog_text)
+        assert refused_status == 503 and refused["error"] == "draining"
+
+        # The in-flight request still completes and ships its report.
+        poster.join(timeout=30)
+        status, report = result["response"]
+        assert status == 200 and report["words"]
+
+        # Already signalled once: a graceful drain exits 0 on its own —
+        # a second SIGTERM would request the force path (exit 1).
+        assert process.wait(timeout=15) == 0
+        banner = process.stdout.read()
+        assert "drained cleanly" in banner
+
+        # Fully drained: the port no longer accepts connections.
+        with pytest.raises(ServeError):
+            client.healthz()
+
+    def test_load_shedding_under_burst(self, verilog_text):
+        """workers=1, queue=1, held workers: a burst of 6 concurrent
+        posts yields exactly 2 successes and 4 sheds — and zero 500s."""
+        process, client = _spawn(
+            "--workers", "1", "--queue-size", "1", "--hold-s", "0.4"
+        )
+        statuses = []
+        lock = threading.Lock()
+
+        def post():
+            status, _ = client.identify(verilog=verilog_text)
+            with lock:
+                statuses.append(status)
+
+        try:
+            threads = [threading.Thread(target=post) for _ in range(6)]
+            for t in threads:
+                t.start()
+                time.sleep(0.03)
+            for t in threads:
+                t.join()
+            assert sorted(statuses) == [200, 200, 429, 429, 429, 429]
+            assert client.metric_value("repro_serve_shed_total") == 4
+        finally:
+            assert _terminate(process) == 0

@@ -1,0 +1,252 @@
+"""In-process tests of the serve request handling (no sockets).
+
+`AnalysisService.call` exercises the exact routing/admission/worker code
+the TCP layer feeds, so everything here — status mapping, digest lookups,
+backpressure, drain semantics — holds verbatim for the socket path
+(covered separately in test_server.py).
+"""
+
+import json
+import os
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.api import Session
+from repro.metrics import MetricsRegistry
+from repro.netlist import write_verilog
+from repro.schema import SCHEMA_VERSION
+from repro.serve.service import AnalysisService
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from fixtures import figure1_netlist  # noqa: E402
+
+
+@pytest.fixture()
+def verilog_text():
+    netlist, _ = figure1_netlist()
+    return write_verilog(netlist)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    session = Session(store=str(tmp_path / "store"))
+    service = AnalysisService(session, workers=2, queue_size=4)
+    yield service
+    service.close()
+
+
+class TestIdentify:
+    def test_round_trip_matches_the_library_call(self, service, verilog_text):
+        response = service.call(
+            "POST", "/v1/identify", {"verilog": verilog_text}
+        )
+        assert response.status == 200
+        served = response.json
+        direct = service.session.analyze(
+            figure1_netlist()[0]
+        )
+        assert served["result_digest"] == direct.result_digest
+        assert served["words"] == [list(b) for b in direct.words]
+        assert served["schema_version"] == SCHEMA_VERSION
+
+    def test_post_hits_entries_committed_by_the_cli_path(
+        self, tmp_path, verilog_text
+    ):
+        """Cross-path cache sharing (DESIGN.md §11): a POST of the exact
+        bytes `repro identify --store` already analyzed is a hit, via
+        the engine's canonical netlist digest."""
+        from repro.cli import main as cli_main
+
+        design = tmp_path / "fig1.v"
+        design.write_text(verilog_text)
+        store = str(tmp_path / "store")
+        assert cli_main([str(design), "--store", store]) == 0
+
+        # preflight=True matches the identify CLI's fingerprint — the
+        # same config `repro serve` boots with (server.main).
+        from repro.core import PipelineConfig
+
+        session = Session(config=PipelineConfig(preflight=True), store=store)
+        service = AnalysisService(session, workers=1, queue_size=1)
+        try:
+            response = service.call(
+                "POST", "/v1/identify", {"verilog": verilog_text}
+            )
+        finally:
+            service.close()
+        assert response.status == 200
+        assert response.json["cache"] == "hit"
+
+    def test_repeat_post_hits_the_shared_store(self, service, verilog_text):
+        first = service.call("POST", "/v1/identify", {"verilog": verilog_text})
+        second = service.call("POST", "/v1/identify", {"verilog": verilog_text})
+        assert first.json["cache"] == "miss"
+        assert second.json["cache"] == "hit"
+        assert second.json["result_digest"] == first.json["result_digest"]
+
+    def test_digest_lookup_after_a_post(self, service, verilog_text):
+        posted = service.call(
+            "POST", "/v1/identify", {"verilog": verilog_text}
+        ).json
+        by_digest = service.call(
+            "POST", "/v1/identify", {"digest": posted["digest"]}
+        )
+        assert by_digest.status == 200
+        assert by_digest.json["result_digest"] == posted["result_digest"]
+
+    def test_unknown_digest_is_404(self, service):
+        response = service.call(
+            "POST", "/v1/identify", {"digest": "file:" + "0" * 64}
+        )
+        assert response.status == 404
+        assert response.json["error"] == "unknown_digest"
+
+    def test_request_needs_exactly_one_source(self, service, verilog_text):
+        neither = service.call("POST", "/v1/identify", {})
+        both = service.call(
+            "POST", "/v1/identify",
+            {"verilog": verilog_text, "digest": "file:" + "0" * 64},
+        )
+        assert neither.status == 400
+        assert both.status == 400
+
+    def test_unparseable_netlist_is_400(self, service):
+        response = service.call(
+            "POST", "/v1/identify", {"verilog": "garbage((("}
+        )
+        assert response.status == 400
+        assert response.json["error"] == "bad_netlist"
+
+    def test_malformed_json_is_400(self, service):
+        import asyncio
+
+        response = asyncio.run(
+            service.handle("POST", "/v1/identify", b"{nope")
+        )
+        assert response.status == 400
+        assert response.json["error"] == "bad_json"
+
+    def test_strict_deadline_is_408(self, service, verilog_text):
+        response = service.call(
+            "POST",
+            "/v1/identify",
+            {"verilog": verilog_text, "deadline_s": 1e-9, "strict": True},
+        )
+        assert response.status == 408
+        assert response.json["error"] == "deadline"
+
+    def test_lax_deadline_degrades_instead(self, service, verilog_text):
+        response = service.call(
+            "POST",
+            "/v1/identify",
+            {"verilog": verilog_text, "deadline_s": 1e-9, "strict": False},
+        )
+        assert response.status == 200
+        assert response.json["trace"]["degraded"] is True
+
+
+class TestBatch:
+    def test_rows_and_aggregate(self, service, verilog_text, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        service.journal = str(journal)
+        response = service.call(
+            "POST",
+            "/v1/batch",
+            {"netlists": [{"verilog": verilog_text}] * 2},
+        )
+        assert response.status == 200
+        payload = response.json
+        assert len(payload["rows"]) == 2
+        assert payload["aggregate"]["designs"] == 2
+        with open(journal, encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert len(lines) == 2
+        assert lines[0]["design"] == payload["rows"][0]["design"]
+
+    def test_empty_list_is_400(self, service):
+        response = service.call("POST", "/v1/batch", {"netlists": []})
+        assert response.status == 400
+
+
+class TestRouting:
+    def test_health_ready_metrics(self, service):
+        health = service.call("GET", "/healthz")
+        assert health.status == 200 and health.json["status"] == "ok"
+        ready = service.call("GET", "/readyz")
+        assert ready.status == 200 and ready.json["status"] == "ready"
+        metrics = service.call("GET", "/metrics")
+        assert metrics.status == 200
+        assert metrics.content_type.startswith("text/plain")
+        text = metrics.body.decode("utf-8")
+        assert "repro_serve_requests_total" in text
+
+    def test_unknown_route_is_404(self, service):
+        assert service.call("GET", "/nope").status == 404
+
+    def test_wrong_methods_are_405(self, service):
+        assert service.call("POST", "/healthz").status == 405
+        assert service.call("GET", "/v1/identify").status == 405
+
+    def test_request_metrics_accumulate(self, verilog_text, tmp_path):
+        registry = MetricsRegistry()
+        session = Session(store=str(tmp_path / "store"))
+        service = AnalysisService(session, registry=registry)
+        try:
+            service.call("POST", "/v1/identify", {"verilog": verilog_text})
+            service.call("GET", "/healthz")
+        finally:
+            service.close()
+        requests = registry.get("repro_serve_requests_total")
+        assert requests.value(endpoint="/v1/identify", status="200") == 1.0
+        assert requests.value(endpoint="/healthz", status="200") == 1.0
+        latency = registry.get("repro_serve_request_seconds")
+        assert latency.count(endpoint="/v1/identify") == 1
+
+
+class TestAdmissionControl:
+    def test_burst_beyond_capacity_sheds_429_never_500(self, tmp_path,
+                                                       verilog_text):
+        """workers=1 + queue=1 and a held worker: a burst of 6 gets
+        exactly its two admissible requests served and the rest shed."""
+        registry = MetricsRegistry()
+        session = Session(store=str(tmp_path / "store"))
+        service = AnalysisService(
+            session, workers=1, queue_size=1, hold_s=0.3, registry=registry
+        )
+        statuses = []
+        lock = threading.Lock()
+
+        def post():
+            response = service.call(
+                "POST", "/v1/identify", {"verilog": verilog_text}
+            )
+            with lock:
+                statuses.append(response.status)
+
+        try:
+            threads = [threading.Thread(target=post) for _ in range(6)]
+            for t in threads:
+                t.start()
+                time.sleep(0.02)  # deterministic arrival order
+            for t in threads:
+                t.join()
+        finally:
+            service.close()
+        assert sorted(statuses) == [200, 200, 429, 429, 429, 429]
+        assert registry.get("repro_serve_shed_total").value() == 4.0
+
+    def test_draining_service_refuses_new_work(self, service, verilog_text):
+        service.begin_drain()
+        ready = service.call("GET", "/readyz")
+        assert ready.status == 503 and ready.json["status"] == "draining"
+        identify = service.call(
+            "POST", "/v1/identify", {"verilog": verilog_text}
+        )
+        assert identify.status == 503
+        assert identify.json["error"] == "draining"
+        # healthz still answers: the process is alive, just not admitting.
+        assert service.call("GET", "/healthz").status == 200
+        assert service.drained()

@@ -1,0 +1,74 @@
+"""StoreStats under concurrency: counts must be exact, not approximate.
+
+Before the serve thread pool existed the stats were bare int increments
+on a single thread; `repro serve` reads one store from ``--workers``
+threads at once, so a lost update would make the hit/miss counters (and
+the ``repro_store_*_total`` metrics built on them) drift.  These tests
+hammer one committed key from many threads and assert the *exact* total.
+"""
+
+import threading
+
+from repro import metrics
+from repro.store import ArtifactStore, cache_key
+
+READERS = 12
+READS_PER_THREAD = 200
+
+
+def _committed_store(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    key = cache_key("file:" + "a" * 64, "config")
+    store.put(key, "result", {"payload": "x" * 64})
+    store.stats.hits = 0  # drop any setup-side noise (single-threaded here)
+    store.stats.misses = 0
+    return store, key
+
+
+class TestConcurrentReaders:
+    def test_hit_count_is_exact_across_reader_threads(self, tmp_path):
+        store, key = _committed_store(tmp_path)
+        barrier = threading.Barrier(READERS)
+
+        def read():
+            barrier.wait()
+            for _ in range(READS_PER_THREAD):
+                assert store.get(key) is not None
+
+        threads = [threading.Thread(target=read) for _ in range(READERS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.stats.hits == READERS * READS_PER_THREAD
+        assert store.stats.misses == 0
+
+    def test_mixed_hits_and_misses_stay_exact(self, tmp_path):
+        store, key = _committed_store(tmp_path)
+        missing = cache_key("file:" + "b" * 64, "config")
+        barrier = threading.Barrier(READERS)
+
+        def read():
+            barrier.wait()
+            for _ in range(READS_PER_THREAD):
+                store.get(key)
+                store.get(missing)
+
+        threads = [threading.Thread(target=read) for _ in range(READERS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.stats.hits == READERS * READS_PER_THREAD
+        assert store.stats.misses == READERS * READS_PER_THREAD
+
+    def test_bump_publishes_to_the_installed_registry(self, tmp_path):
+        registry = metrics.install()
+        try:
+            store, key = _committed_store(tmp_path)
+            store.get(key)
+            store.get(key)
+            hits = registry.get("repro_store_hits_total")
+            assert hits is not None and hits.value() == 2.0
+        finally:
+            metrics.uninstall()

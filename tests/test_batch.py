@@ -13,6 +13,7 @@ from repro.batch import (
 )
 from repro.core import PipelineConfig
 from repro.netlist import write_verilog
+from repro.schema import SCHEMA_VERSION
 from repro.synth.designs import BENCHMARKS
 
 sys.path.insert(0, os.path.dirname(__file__))
@@ -136,8 +137,29 @@ class TestCli:
         assert f"{len(corpus)} hits" in second
         with open(report_path, encoding="utf-8") as handle:
             payload = json.load(handle)
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == SCHEMA_VERSION
         assert payload["aggregate"]["hit_rate"] == 1.0
+
+    def test_metrics_json_dump(self, corpus, tmp_path, capsys):
+        """--metrics-json writes a stamped registry snapshot counting
+        exactly the corpus rows that ran."""
+        from repro import metrics
+
+        metrics.uninstall()  # the flag must install its own registry
+        metrics_path = str(tmp_path / "metrics.json")
+        try:
+            assert main(
+                corpus + ["--quiet", "--metrics-json", metrics_path]
+            ) == 0
+        finally:
+            metrics.uninstall()
+        with open(metrics_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        by_name = {m["name"]: m for m in payload["metrics"]}
+        rows = by_name["repro_batch_rows_total"]["samples"]
+        assert sum(s["value"] for s in rows) == len(corpus)
+        assert "repro_batch_row_seconds" in by_name
 
     def test_corpus_dir_globs_designs(self, corpus, tmp_path, capsys):
         directory = os.path.dirname(corpus[0])

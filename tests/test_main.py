@@ -10,6 +10,7 @@ import repro.batch
 import repro.cli
 import repro.eval.runner
 import repro.fuzz.harness
+import repro.serve.server
 from repro.main import COMMANDS, main
 from repro.netlist import write_verilog
 from repro.synth.designs import BENCHMARKS
@@ -52,6 +53,7 @@ class TestDispatch:
         assert COMMANDS["table1"][1]() is repro.eval.runner.main
         assert COMMANDS["fuzz"][1]() is repro.fuzz.harness.main
         assert COMMANDS["batch"][1]() is repro.batch.main
+        assert COMMANDS["serve"][1]() is repro.serve.server.main
 
     def test_console_scripts_registered(self):
         import pathlib
@@ -59,7 +61,9 @@ class TestDispatch:
         pyproject = pathlib.Path(__file__).parent.parent / "pyproject.toml"
         text = pyproject.read_text()
         assert 'repro = "repro.main:main"' in text
-        for alias in ("repro-identify", "repro-table1", "repro-fuzz"):
+        for alias in (
+            "repro-identify", "repro-table1", "repro-fuzz", "repro-serve"
+        ):
             assert alias in text
 
 

@@ -24,8 +24,10 @@ from repro.batch import analyze_corpus
 from repro.cli import main as identify_main
 from repro.eval.report import row_to_dict
 from repro.eval.runner import run_benchmark
+from repro.metrics import MetricsRegistry
 from repro.schema import PIPELINE_VERSION, SCHEMA_VERSION, stamp
 from repro.netlist import write_verilog
+from repro.serve.service import AnalysisService
 from repro.store import ArtifactStore
 
 sys.path.insert(0, os.path.dirname(__file__))
@@ -89,6 +91,47 @@ def current_shapes():
         shapes["batch_row"] = sorted(batch.rows[0])
         shapes["batch_aggregate"] = sorted(batch.aggregate)
         shapes["batch_report"] = sorted(batch.as_dict())
+
+        # The serve response envelopes, through the in-process service
+        # (same handler code as the socket path, no port needed).
+        with open(design, encoding="utf-8") as handle:
+            text = handle.read()
+        service = AnalysisService(session, workers=1, queue_size=1)
+        try:
+            identify = service.call(
+                "POST", "/v1/identify", {"verilog": text}
+            )
+            assert identify.status == 200
+            shapes["serve_identify_response"] = sorted(identify.json)
+            served_batch = service.call(
+                "POST", "/v1/batch", {"netlists": [{"verilog": text}]}
+            )
+            assert served_batch.status == 200
+            shapes["serve_batch_response"] = sorted(served_batch.json)
+            shapes["serve_batch_row"] = sorted(served_batch.json["rows"][0])
+            shapes["serve_batch_aggregate"] = sorted(
+                served_batch.json["aggregate"]
+            )
+            error = service.call("POST", "/v1/identify", {})
+            assert error.status == 400
+            shapes["serve_error"] = sorted(error.json)
+            health = service.call("GET", "/healthz")
+            shapes["serve_healthz"] = sorted(health.json)
+            ready = service.call("GET", "/readyz")
+            shapes["serve_readyz"] = sorted(ready.json)
+        finally:
+            service.close()
+
+        # The metrics snapshot (`repro batch --metrics-json` / registry).
+        registry = MetricsRegistry()
+        registry.counter("repro_example_total", "example").inc()
+        registry.histogram("repro_example_seconds", "example").observe(0.1)
+        dump = stamp({"metrics": registry.as_dict()})
+        shapes["metrics_json"] = sorted(dump)
+        shapes["metrics_json.metric"] = sorted(dump["metrics"][0])
+        shapes["metrics_json.sample"] = sorted(
+            dump["metrics"][0]["samples"][0]
+        )
     return shapes
 
 
@@ -98,8 +141,8 @@ def load_golden():
 
 
 class TestVersionStamps:
-    def test_schema_version_is_2(self):
-        assert SCHEMA_VERSION == 2
+    def test_schema_version_is_3(self):
+        assert SCHEMA_VERSION == 3
 
     def test_stamp_prepends_current_versions(self):
         stamped = stamp({"x": 1, "schema_version": 999})
@@ -139,9 +182,23 @@ class TestGolden:
             "store_result_envelope",
             "batch_row",
             "batch_report",
+            "serve_identify_response",
+            "serve_batch_response",
+            "serve_error",
+            "serve_healthz",
+            "metrics_json",
         ):
             assert "schema_version" in golden[kind], kind
             assert "pipeline_version" in golden[kind], kind
+
+    def test_serve_response_envelope_is_the_analysis_report(self):
+        """The identify endpoint answers AnalysisReport.as_dict verbatim:
+        clients written against the facade's JSON shape read the serve
+        response with zero translation."""
+        golden = load_golden()["shapes"]
+        assert (
+            golden["serve_identify_response"] == golden["analysis_report"]
+        )
 
 
 def _regen() -> None:
