@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""CI smoke test for the store-backed cone cache (also runnable locally).
+
+Proves the two cross-run guarantees DESIGN.md §12 makes, end to end, and
+journals the measured hit rates to ``BENCH_cone_cache.json``:
+
+1. **Cross-design sharing** — ITC99 designs are compositions: b17
+   instantiates three b15 cores, b18 instantiates b14's (b14 and b17
+   share nothing — see the sharing map in DESIGN.md §12).  A cold
+   b14+b15 pass populates one store; a second pass over b17+b18 with a
+   *fresh* process tier then answers part of its reduction searches from
+   entries the first pass committed, byte-identical to cache-less runs.
+2. **Incremental re-analysis** — after one gate of b18 is edited,
+   ``Session.analyze_incremental`` re-derives only the dirtied cones:
+   cone reuse ≥ 90%, report byte-identical to a from-scratch analysis.
+
+Usage::
+
+    PYTHONPATH=src python scripts/incremental_smoke.py [--scratch DIR]
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.api import Session  # noqa: E402
+from repro.core import PipelineConfig, identify_words  # noqa: E402
+from repro.core.conecache import ProcessConeCache  # noqa: E402
+from repro.netlist.cells import AND, OR  # noqa: E402
+from repro.store import ArtifactStore, result_digest  # noqa: E402
+from repro.synth.designs import BENCHMARKS  # noqa: E402
+
+FIRST_PASS = ("b14", "b15")
+SECOND_PASS = ("b17", "b18")
+EDIT_TARGET = "b18"
+
+
+def log(message):
+    print(message, flush=True)
+
+
+def assert_same_result(name, plain, cached):
+    assert result_digest(plain) == result_digest(cached), (
+        f"{name}: cone-cached result differs from the cache-less one"
+    )
+    assert [w.bits for w in plain.words] == [w.bits for w in cached.words]
+    assert plain.trace.counter_dict() == cached.trace.counter_dict()
+
+
+def cross_design_pass(store):
+    """First pass commits, second pass (fresh process tier) hits."""
+    config = PipelineConfig()
+    bench = {}
+    committed = 0
+    for name in FIRST_PASS:
+        netlist = BENCHMARKS[name]()
+        plain = identify_words(netlist, config, cone_cache=False)
+        cached = identify_words(
+            netlist, config,
+            cone_cache=[ProcessConeCache(), store.cone_tier()],
+        )
+        assert_same_result(name, plain, cached)
+        stats = cached.trace.cache
+        committed += stats.cone_tier_commits
+        bench[name] = {
+            "pass": "populate",
+            "cone_commits": stats.cone_tier_commits,
+            "cone_hit_rate": stats.cone_tier_hit_rate,
+        }
+        log(f"{name}: committed {stats.cone_tier_commits} cone entries")
+    assert committed > 0, "populate pass committed no cone entries"
+
+    store_hits = 0
+    for name in SECOND_PASS:
+        netlist = BENCHMARKS[name]()
+        plain = identify_words(netlist, config, cone_cache=False)
+        # A fresh process tier per design: every hit below crossed the
+        # store, none is an in-process leftover.
+        cached = identify_words(
+            netlist, config,
+            cone_cache=[ProcessConeCache(), store.cone_tier()],
+        )
+        assert_same_result(name, plain, cached)
+        stats = cached.trace.cache
+        store_hits += stats.cone_tier_store_hits
+        bench[name] = {
+            "pass": "cross-design",
+            "cone_store_hits": stats.cone_tier_store_hits,
+            "cone_misses": stats.cone_tier_misses,
+            "cone_hit_rate": stats.cone_tier_hit_rate,
+        }
+        log(
+            f"{name}: {stats.cone_tier_store_hits} cone hits from the "
+            f"{'+'.join(FIRST_PASS)} store, {stats.cone_tier_misses} misses"
+        )
+    assert store_hits > 0, (
+        f"{'+'.join(SECOND_PASS)} hit no cone entries committed by "
+        f"{'+'.join(FIRST_PASS)}"
+    )
+    return bench
+
+
+def one_gate_edit(netlist):
+    """Swap the first 2+-input combinational AND/OR; returns the copy."""
+    edited = netlist.copy()
+    gate = next(
+        g for g in edited.gates_in_file_order()
+        if not g.is_ff
+        and g.cell.name in ("AND", "OR")
+        and len(g.inputs) >= 2
+    )
+    swapped = OR if gate.cell.name == "AND" else AND
+    edited.replace_gate(gate.name, swapped, gate.inputs)
+    return edited, gate.name
+
+
+def incremental_pass(store_root):
+    session = Session(store=store_root)
+    base_netlist = BENCHMARKS[EDIT_TARGET]()
+    base = session.analyze(base_netlist)
+    edited, edited_gate = one_gate_edit(base_netlist)
+
+    started = time.perf_counter()
+    inc = session.analyze_incremental(base.digest, edited)
+    elapsed = time.perf_counter() - started
+
+    assert inc.gates_changed == (edited_gate,), inc.gates_changed
+    assert inc.cone_reuse_rate >= 0.90, (
+        f"cone reuse {inc.cone_reuse_rate:.0%} after a one-gate edit "
+        f"(hits {inc.cone_hits}, misses {inc.cone_misses})"
+    )
+    scratch = Session(config=session.config).analyze(edited)
+    assert inc.report.result_digest == scratch.result_digest, (
+        "incremental report differs from a from-scratch analysis"
+    )
+    assert inc.report.words == scratch.words
+    log(
+        f"{EDIT_TARGET} one-gate edit ({edited_gate}): "
+        f"reuse {inc.cone_reuse_rate:.1%} "
+        f"({inc.cone_hits} hits / {inc.cone_misses} misses), "
+        f"{inc.dirty_bits}/{inc.total_bits} bits dirtied, "
+        f"re-analysis {elapsed:.2f}s, report byte-identical"
+    )
+    return {
+        "design": EDIT_TARGET,
+        "edited_gate": edited_gate,
+        "cone_reuse_rate": inc.cone_reuse_rate,
+        "cone_hits": inc.cone_hits,
+        "cone_misses": inc.cone_misses,
+        "dirty_bits": inc.dirty_bits,
+        "total_bits": inc.total_bits,
+        "reanalysis_seconds": elapsed,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scratch", default=None,
+        help="working directory (default: a fresh temp dir)",
+    )
+    args = parser.parse_args(argv)
+    if args.scratch:
+        os.makedirs(args.scratch, exist_ok=True)
+        scratch = args.scratch
+    else:
+        scratch = tempfile.mkdtemp(prefix="incremental-smoke-")
+
+    store = ArtifactStore(os.path.join(scratch, "store"))
+    cross = cross_design_pass(store)
+    incremental = incremental_pass(os.path.join(scratch, "inc-store"))
+
+    bench_path = os.path.join(REPO, "BENCH_cone_cache.json")
+    with open(bench_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"cross_design": cross, "incremental": incremental},
+            handle, indent=2, sort_keys=True,
+        )
+        handle.write("\n")
+    log(f"wrote {bench_path}")
+    log("incremental smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

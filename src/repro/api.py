@@ -33,6 +33,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from . import metrics as _metrics
 from .core.baseline import baseline_config
 from .core.pipeline import PipelineConfig, identify_words
 from .core.words import IdentificationResult
@@ -48,7 +49,7 @@ from .store import (
     result_digest,
 )
 
-__all__ = ["AnalysisReport", "Session"]
+__all__ = ["AnalysisReport", "IncrementalReport", "Session"]
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -116,6 +117,77 @@ class AnalysisReport:
         })
 
 
+@dataclass(frozen=True)
+class IncrementalReport:
+    """An :class:`AnalysisReport` plus the edit-impact accounting of one
+    :meth:`Session.analyze_incremental` run.
+
+    ``base_digest`` names the previously analyzed design (any digest
+    :meth:`~repro.store.ArtifactStore.probe_netlist` resolves);
+    ``digest`` is the edited design's canonical digest — pass it as the
+    next ``base_digest`` to chain edits.  The ``gates_*`` /
+    ``dirty_*`` fields describe the structural diff and its forward
+    closure through combinational logic (cones stop at flip-flops, so so
+    does the closure); the ``cone_*`` fields are the edited run's
+    cone-cache traffic.  ``report`` is byte-identical to a from-scratch
+    analysis of the edited design — incrementality changes where answers
+    come from, never what they are.
+    """
+
+    base_digest: str
+    digest: str
+    report: AnalysisReport
+    gates_added: Tuple[str, ...]
+    gates_removed: Tuple[str, ...]
+    gates_changed: Tuple[str, ...]
+    dirty_nets: int
+    dirty_bits: int
+    total_bits: int
+    cone_hits: int
+    cone_misses: int
+    cone_commits: int
+
+    @property
+    def num_edits(self) -> int:
+        return (
+            len(self.gates_added)
+            + len(self.gates_removed)
+            + len(self.gates_changed)
+        )
+
+    @property
+    def cone_reuse_rate(self) -> float:
+        """Fraction of subgroup searches answered from the cone cache.
+
+        ``1.0`` when nothing had to be probed at all — a whole-result
+        store hit is total reuse, not zero reuse.
+        """
+        total = self.cone_hits + self.cone_misses
+        return self.cone_hits / total if total else 1.0
+
+    def as_dict(self) -> Dict:
+        """Versioned JSON-ready form (``schema_version`` stamped)."""
+        return stamp({
+            "base_digest": self.base_digest,
+            "digest": self.digest,
+            "diff": {
+                "gates_added": list(self.gates_added),
+                "gates_removed": list(self.gates_removed),
+                "gates_changed": list(self.gates_changed),
+                "dirty_nets": self.dirty_nets,
+                "dirty_bits": self.dirty_bits,
+                "total_bits": self.total_bits,
+            },
+            "cone_cache": {
+                "hits": self.cone_hits,
+                "misses": self.cone_misses,
+                "commits": self.cone_commits,
+                "reuse_rate": self.cone_reuse_rate,
+            },
+            "report": self.report.as_dict(),
+        })
+
+
 class Session:
     """A configured analysis context: config + (optional) artifact store.
 
@@ -177,6 +249,10 @@ class Session:
     ) -> AnalysisReport:
         digest = netlist_digest(netlist)
         result = identify_words(netlist, self.config, store=self.store)
+        if self.store is not None:
+            # Persist the parsed body too, so this report's digest can be
+            # the base of a later analyze_incremental call.
+            self.store.commit_netlist(digest, netlist)
         return self._report(netlist, digest, result, source)
 
     def _analyze_path(
@@ -209,6 +285,95 @@ class Session:
             return cached
         netlist = parse_bench(text) if format == "bench" else parse_verilog(text)
         return self._analyze_fresh(netlist, digest, None)
+
+    def analyze_incremental(
+        self,
+        base_digest: str,
+        edited_source: Union[PathLike, Netlist, str],
+        format: Optional[str] = None,
+    ) -> IncrementalReport:
+        """Re-analyze an edited design against a previously analyzed base.
+
+        ``base_digest`` is the digest of any design this store has seen
+        (an earlier :class:`AnalysisReport`'s ``digest``, or an
+        :class:`IncrementalReport`'s ``digest`` when chaining edits);
+        ``edited_source`` is the edited design as a :class:`Netlist`, a
+        path, or netlist source text.
+
+        The edited design runs through the full six-stage pipeline with
+        the session's cone-cache tiers warm — content addressing *is*
+        the invalidation: every cone the edit did not reach keeps its
+        canonical digest and replays from the cache, only dirtied cones
+        are re-searched.  The result is therefore byte-identical to a
+        from-scratch analysis; the base is used solely to report the
+        structural diff and its dirty closure.
+
+        Raises :class:`ValueError` when the session has no store and
+        :class:`KeyError` when ``base_digest`` is unknown to it.
+        """
+        if self.store is None:
+            raise ValueError(
+                "analyze_incremental requires a store "
+                "(the base design and the cone cache live there)"
+            )
+        base = self.store.probe_netlist(base_digest)
+        if base is None:
+            raise KeyError(f"unknown base digest: {base_digest}")
+        edited = self._resolve_netlist(edited_source, format)
+        added, removed, changed = _gate_diff(base, edited)
+        dirty = _dirty_closure(base, edited, added, removed, changed)
+        bits = edited.register_input_nets()
+        dirty_bits = sum(1 for net in bits if net in dirty)
+
+        report = self._analyze_netlist(edited)
+        digest = report.digest
+        self.store.commit_netlist(digest, edited)
+        cache = report.result.trace.cache
+        incremental = IncrementalReport(
+            base_digest=base_digest,
+            digest=digest,
+            report=report,
+            gates_added=added,
+            gates_removed=removed,
+            gates_changed=changed,
+            dirty_nets=len(dirty),
+            dirty_bits=dirty_bits,
+            total_bits=len(bits),
+            cone_hits=(
+                cache.cone_tier_process_hits + cache.cone_tier_store_hits
+            ),
+            cone_misses=cache.cone_tier_misses,
+            cone_commits=cache.cone_tier_commits,
+        )
+        registry = _metrics.current()
+        if registry is not None:
+            registry.counter(
+                "repro_incremental_runs_total",
+                "Completed incremental re-analyses",
+            ).inc()
+            registry.counter(
+                "repro_incremental_dirty_bits_total",
+                "Candidate bits whose cones an incremental edit dirtied",
+            ).inc(dirty_bits)
+        return incremental
+
+    def _resolve_netlist(
+        self,
+        source: Union[PathLike, Netlist, str],
+        format: Optional[str],
+    ) -> Netlist:
+        """A :class:`Netlist` from a netlist, a path, or source text."""
+        if isinstance(source, Netlist):
+            return source
+        if isinstance(source, str) and (
+            "\n" in source or not os.path.exists(source)
+        ):
+            return (
+                parse_bench(source)
+                if format == "bench"
+                else parse_verilog(source)
+            )
+        return self.load_netlist(source, format)
 
     def analyze_digest(self, digest: str) -> Optional[AnalysisReport]:
         """The cached report for an already-known content digest, if any.
@@ -278,6 +443,10 @@ class Session:
             # Read the engine's probe/commit outcome before the alias
             # commit below overwrites the provenance with its own.
             cache = result.trace.cache_provenance.get("provenance", "miss")
+            # Persist the parsed body under the byte-level digest too, so
+            # a text-analyzed design can later serve as the base of an
+            # analyze_incremental call.
+            self.store.commit_netlist(digest, netlist)
             key = self.store.commit_result(
                 digest,
                 self.config,
@@ -389,6 +558,69 @@ class Session:
         if self.store is not None:
             self.store.commit_netlist(digest, netlist)
         return netlist
+
+
+def _gate_diff(
+    base: Netlist, edited: Netlist
+) -> Tuple[Tuple[str, ...], Tuple[str, ...], Tuple[str, ...]]:
+    """Gate names added, removed, and changed between two netlists.
+
+    A gate "changed" when its cell, fanin list, output net, or
+    flip-flop-ness differs; renames show up as a remove + add, which is
+    conservative (more dirt, never less).
+    """
+    base_gates = {g.name: g for g in base.gates_in_file_order()}
+    edited_gates = {g.name: g for g in edited.gates_in_file_order()}
+    added = tuple(n for n in edited_gates if n not in base_gates)
+    removed = tuple(n for n in base_gates if n not in edited_gates)
+    changed = tuple(
+        name
+        for name, gate in edited_gates.items()
+        if name in base_gates
+        and (
+            gate.cell.name != base_gates[name].cell.name
+            or tuple(gate.inputs) != tuple(base_gates[name].inputs)
+            or gate.output != base_gates[name].output
+            or gate.is_ff != base_gates[name].is_ff
+        )
+    )
+    return added, removed, changed
+
+
+def _dirty_closure(
+    base: Netlist,
+    edited: Netlist,
+    added: Sequence[str],
+    removed: Sequence[str],
+    changed: Sequence[str],
+) -> set:
+    """Nets of ``edited`` whose fanin cones the edit may have altered.
+
+    Seeds are the outputs of added/changed gates plus the (surviving)
+    outputs of removed gates; the closure follows combinational fanout
+    only — hash-key cones stop at flip-flops, so a dirty FF input never
+    dirties the cones fed by that FF's output.
+    """
+    edited_gates = {g.name: g for g in edited.gates_in_file_order()}
+    base_gates = {g.name: g for g in base.gates_in_file_order()}
+    seeds = {edited_gates[name].output for name in added}
+    seeds.update(edited_gates[name].output for name in changed)
+    seeds.update(
+        base_gates[name].output
+        for name in removed
+        if base_gates[name].output in edited.nets()
+    )
+    dirty = set(seeds)
+    stack = list(seeds)
+    while stack:
+        net = stack.pop()
+        for gate in edited.fanouts(net):
+            if gate.is_ff:
+                continue
+            if gate.output not in dirty:
+                dirty.add(gate.output)
+                stack.append(gate.output)
+    return dirty
 
 
 def _design_name(path: str) -> str:

@@ -100,6 +100,21 @@ def _itc99_names() -> List[str]:
     ]
 
 
+def _cone_cache_summary(report: AnalysisReport) -> Dict:
+    """One design's cone-tier traffic (DESIGN.md §12), for its row."""
+    cache = report.trace.get("cache", {})
+    hits = int(cache.get("cone_tier_process_hits", 0)) + int(
+        cache.get("cone_tier_store_hits", 0)
+    )
+    misses = int(cache.get("cone_tier_misses", 0))
+    return {
+        "hits": hits,
+        "misses": misses,
+        "commits": int(cache.get("cone_tier_commits", 0)),
+        "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+    }
+
+
 def _row_from_report(
     report: AnalysisReport, score: Optional[Dict], wall_seconds: float
 ) -> Dict:
@@ -118,6 +133,7 @@ def _row_from_report(
         "singletons": list(report.singletons),
         "control_signals": list(report.control_signals),
         "counters": dict(report.trace.get("counters", {})),
+        "cone_cache": _cone_cache_summary(report),
         "result_digest": report.result_digest,
         "runtime_seconds": report.runtime_seconds,
         "wall_seconds": wall_seconds,
@@ -177,11 +193,30 @@ def _publish_row(row: Dict) -> None:
         "repro_batch_row_seconds",
         "Wall-clock seconds per corpus design (orchestrator view)",
     ).observe(float(row.get("wall_seconds", 0.0)))
+    cone = row.get("cone_cache") or {}
+    if cone.get("hits"):
+        registry.counter(
+            "repro_batch_cone_tier_hits_total",
+            "Cone-cache hits across all corpus designs",
+        ).inc(int(cone["hits"]))
+    if cone.get("misses"):
+        registry.counter(
+            "repro_batch_cone_tier_misses_total",
+            "Cone-cache misses across all corpus designs",
+        ).inc(int(cone["misses"]))
 
 
 def _aggregate(rows: Sequence[Dict], wall_seconds: float) -> Dict:
     hits = sum(1 for row in rows if row["cache"] == "hit")
     misses = sum(1 for row in rows if row["cache"] == "miss")
+    # Cone-tier traffic summed across rows; .get() tolerates journal rows
+    # written before the cone cache existed.
+    cone_hits = sum(
+        int((row.get("cone_cache") or {}).get("hits", 0)) for row in rows
+    )
+    cone_misses = sum(
+        int((row.get("cone_cache") or {}).get("misses", 0)) for row in rows
+    )
     digest = hashlib.sha256()
     for row in sorted(rows, key=lambda r: (r["design"], r["digest"])):
         digest.update(
@@ -193,6 +228,13 @@ def _aggregate(rows: Sequence[Dict], wall_seconds: float) -> Dict:
         "cache_hits": hits,
         "cache_misses": misses,
         "hit_rate": hits / len(rows) if rows else 0.0,
+        "cone_tier_hits": cone_hits,
+        "cone_tier_misses": cone_misses,
+        "cone_tier_hit_rate": (
+            cone_hits / (cone_hits + cone_misses)
+            if cone_hits + cone_misses
+            else 0.0
+        ),
         "total_words": sum(row["num_words"] for row in rows),
         "analysis_seconds": sum(row["runtime_seconds"] for row in rows),
         "wall_seconds": wall_seconds,

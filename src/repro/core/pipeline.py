@@ -155,6 +155,7 @@ def identify_words(
     config: Optional[PipelineConfig] = None,
     context: Optional[AnalysisContext] = None,
     store=None,
+    cone_cache=None,
 ) -> IdentificationResult:
     """Run the full word-identification flow on a netlist.
 
@@ -172,6 +173,15 @@ def identify_words(
     fields, and :data:`PIPELINE_VERSION`.  Cached and uncached results are
     byte-identical on words, partitions, assignments, and counters; only
     ``trace.cache_provenance`` records which path produced them.
+
+    ``cone_cache`` — cone-level memoization below the whole-result store
+    (DESIGN.md §12).  ``None`` (default) enables the process table plus
+    the store's cone tier when ``store`` is attached; ``False`` disables;
+    a :class:`~repro.core.conecache.ConeCacheTier` (or sequence of tiers)
+    is used verbatim.  Cone-cached runs are byte-identical to uncached
+    ones on everything the determinism oracles compare.
     """
     config = config or PipelineConfig()
-    return AnalysisEngine(config, store=store).run(netlist, context=context)
+    return AnalysisEngine(config, store=store, cone_cache=cone_cache).run(
+        netlist, context=context
+    )

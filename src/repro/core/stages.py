@@ -50,6 +50,15 @@ from .. import metrics as _metrics
 from ..netlist.cone import extract_subcircuit
 from ..netlist.netlist import Netlist
 from ..netlist.validate import diagnose
+from .conecache import (
+    CanonicalCone,
+    ConeCacheChain,
+    ConeCacheTier,
+    canonicalize_subgroup,
+    cone_fingerprint,
+    process_cone_cache,
+    valid_cone_entry,
+)
 from .context import AnalysisContext
 from .control import ControlSignalCandidate, find_control_signals
 from .grouping import group_by_adjacency, group_register_inputs
@@ -103,6 +112,13 @@ class SubgroupTask:
     (degenerate or partial matching disabled — emitted as its full-match
     partition), or ``"partial"`` (partially matched — goes through control
     discovery and reduction search).
+
+    The trailing fields belong to the cone-cache fast path (DESIGN.md
+    §12) and are filled by the reduction stage's batched pre-pass:
+    ``subcircuit`` (extracted once, reused by the search), ``canonical``
+    (the task's canonical envelope), ``cached_entry`` (a tier hit to
+    replay instead of searching), and ``fresh_entry`` (a clean outcome
+    staged for the batched commit).
     """
 
     index: int
@@ -110,6 +126,10 @@ class SubgroupTask:
     kind: str
     candidates: List[ControlSignalCandidate] = field(default_factory=list)
     outcome: Optional["SubgroupOutcome"] = None
+    subcircuit: Optional[Netlist] = field(default=None, repr=False)
+    canonical: Optional[CanonicalCone] = field(default=None, repr=False)
+    cached_entry: Optional[Dict] = field(default=None, repr=False)
+    fresh_entry: Optional[Dict] = field(default=None, repr=False)
 
 
 @dataclass
@@ -143,6 +163,8 @@ class StageArtifacts:
     groups: List[List[str]] = field(default_factory=list)
     group_signatures: List[List[BitSignature]] = field(default_factory=list)
     tasks: List[SubgroupTask] = field(default_factory=list)
+    # Per-run cone-cache chain (None = cone caching off for this run).
+    cone_cache: Optional[ConeCacheChain] = None
 
     @property
     def trace(self):
@@ -260,6 +282,8 @@ class ReductionStage(Stage):
 
     def run(self, art: StageArtifacts) -> None:
         tasks = [t for t in art.tasks if t.kind == "partial"]
+        if art.cone_cache is not None and tasks:
+            self._probe_cone_cache(art, tasks)
         jobs = min(art.config.jobs, len(tasks)) or 1
         if jobs > 1:
             outcomes = self._run_parallel(art, tasks, jobs)
@@ -267,6 +291,99 @@ class ReductionStage(Stage):
             outcomes = [self.guarded_search(art, task) for task in tasks]
         for task, outcome in zip(tasks, outcomes):
             task.outcome = outcome
+        if art.cone_cache is not None:
+            self._commit_cone_cache(art, tasks)
+
+    def _probe_cone_cache(
+        self, art: StageArtifacts, tasks: List[SubgroupTask]
+    ) -> None:
+        """Batched tier probe: extract, canonicalize, and look up every
+        searchable subgroup in one round trip per tier.
+
+        Subcircuits are extracted here (the search reuses them), so the
+        cone-gate cap can be applied *before* any probe: a capped
+        subgroup degrades identically with the cache on or off, and its
+        envelope is never probed nor committed.  Tasks past a fired
+        budget are left untouched — the drain path never pays for
+        extraction, exactly as without a cache.
+        """
+        config = art.config
+        budget = art.budget
+        eligible: List[SubgroupTask] = []
+        for task in tasks:
+            if not task.candidates:
+                continue
+            if budget.stop_reason() is not None:
+                break
+            subcircuit = extract_subcircuit(
+                art.netlist,
+                task.subgroup.bits,
+                config.depth,
+                boundary=art.context.boundary,
+            )
+            task.subcircuit = subcircuit
+            if (
+                budget.max_cone_gates is not None
+                and subcircuit.num_gates > budget.max_cone_gates
+            ):
+                continue
+            task.canonical = canonicalize_subgroup(
+                subcircuit, task.subgroup.bits, task.candidates
+            )
+            if task.canonical is not None:
+                eligible.append(task)
+        if not eligible:
+            return
+        hits = art.cone_cache.probe_many(
+            [task.canonical.digest for task in eligible]
+        )
+        for task in eligible:
+            entry = hits.get(task.canonical.digest)
+            if entry is not None and valid_cone_entry(
+                entry, len(task.subgroup.bits)
+            ):
+                task.cached_entry = entry
+
+    def _commit_cone_cache(
+        self, art: StageArtifacts, tasks: List[SubgroupTask]
+    ) -> None:
+        """Batched write-through of every fresh, clean outcome."""
+        entries = {
+            task.canonical.digest: task.fresh_entry
+            for task in tasks
+            if task.fresh_entry is not None and task.canonical is not None
+        }
+        art.cone_cache.commit_many(entries)
+
+    @staticmethod
+    def _replay(task: SubgroupTask, outcome: SubgroupOutcome) -> SubgroupOutcome:
+        """Reconstruct a search outcome from a cone-cache entry.
+
+        The cached partition is stored as run lengths over the bit order;
+        emission only ever reads ``sig.net`` from partition runs, so the
+        runs are rebuilt from the subgroup's *unreduced* signatures at
+        the same indices — byte-identical words, singletons, and
+        counters to the fresh search (``outcome.cache`` stays ``None``:
+        sub-context statistics describe work that was skipped, and cache
+        statistics are outside the determinism contract).
+        """
+        entry = task.cached_entry
+        signatures = task.subgroup.signatures
+        partition: List[List[BitSignature]] = []
+        position = 0
+        for length in entry["runs"]:
+            partition.append(list(signatures[position:position + length]))
+            position += length
+        outcome.partition = partition
+        assignment = entry.get("assignment")
+        if assignment is not None:
+            net_of = task.canonical.net_of
+            outcome.assignment = ControlAssignment.of(
+                {net_of[cid]: int(val) for cid, val in assignment.items()}
+            )
+        outcome.assignments_tried = entry["tried"]
+        outcome.infeasible = entry["infeasible"]
+        return outcome
 
     def _run_parallel(
         self, art: StageArtifacts, tasks: List[SubgroupTask], jobs: int
@@ -369,9 +486,11 @@ class ReductionStage(Stage):
         if not task.candidates:
             return outcome
 
-        subcircuit = extract_subcircuit(
-            art.netlist, bits, config.depth, boundary=art.context.boundary
-        )
+        subcircuit = task.subcircuit
+        if subcircuit is None:
+            subcircuit = extract_subcircuit(
+                art.netlist, bits, config.depth, boundary=art.context.boundary
+            )
         outcome.subcircuits = 1
         if (
             budget.max_cone_gates is not None
@@ -386,6 +505,8 @@ class ReductionStage(Stage):
                 )
             outcome.failure = self._failure(task, "cone_gates", detail)
             return outcome
+        if task.cached_entry is not None:
+            return self._replay(task, outcome)
         sub = AnalysisContext(
             subcircuit, config.depth, parent=art.context
         )
@@ -428,7 +549,47 @@ class ReductionStage(Stage):
                     outcome.partition = partition
                     outcome.assignment = ControlAssignment.of(assignment)
         outcome.cache = sub.stats
+        if (
+            art.cone_cache is not None
+            and task.canonical is not None
+            and outcome.failure is None
+        ):
+            task.fresh_entry = self._entry_from_outcome(task, outcome)
         return outcome
+
+    @staticmethod
+    def _entry_from_outcome(
+        task: SubgroupTask, outcome: SubgroupOutcome
+    ) -> Optional[Dict]:
+        """Translate a clean fresh outcome into a cacheable cone entry.
+
+        The partition is stored as run lengths over the subgroup's bit
+        order; the assignment (if any) is translated from design net
+        names into canonical cone ids.  Returns ``None`` — cache
+        nothing — when the outcome cannot be expressed in the canonical
+        frame (an assignment net outside the cone, or a partition that
+        does not cover every bit), which keeps correctness independent
+        of envelope completeness.
+        """
+        runs = [len(run) for run in outcome.partition]
+        if sum(runs) != len(task.subgroup.bits):
+            return None
+        assignment = None
+        if outcome.assignment is not None:
+            id_of = task.canonical.id_of
+            try:
+                assignment = {
+                    str(id_of[net]): int(val)
+                    for net, val in outcome.assignment.assignments
+                }
+            except KeyError:
+                return None
+        return {
+            "runs": runs,
+            "assignment": assignment,
+            "tried": outcome.assignments_tried,
+            "infeasible": outcome.infeasible,
+        }
 
 
 class EmissionStage(Stage):
@@ -505,10 +666,35 @@ class AnalysisEngine:
         config: "PipelineConfig",  # noqa: F821
         stages: Optional[Sequence[Stage]] = None,
         store=None,
+        cone_cache=None,
     ):
         self.config = config
         self.stages: Tuple[Stage, ...] = tuple(stages or default_stages())
         self.store = store
+        self.cone_tiers = self._resolve_cone_tiers(cone_cache)
+
+    def _resolve_cone_tiers(
+        self, cone_cache
+    ) -> Optional[List[ConeCacheTier]]:
+        """Resolve the ``cone_cache`` argument into a tier sequence.
+
+        ``None`` (the default) enables the shared process table plus the
+        store's cone tier when a store is attached — but only on clean
+        configurations: a ``fault_hook`` injects failures that must not
+        leak into (or be masked by) any cache, so it always disables
+        cone caching.  ``False`` disables explicitly; a single
+        :class:`ConeCacheTier` or a sequence of tiers is used verbatim.
+        """
+        if self.config.fault_hook is not None or cone_cache is False:
+            return None
+        if cone_cache is None:
+            tiers: List[ConeCacheTier] = []
+            if self.store is not None and hasattr(self.store, "cone_tier"):
+                tiers = [process_cone_cache(), self.store.cone_tier()]
+            return tiers or None
+        if isinstance(cone_cache, ConeCacheTier):
+            return [cone_cache]
+        return list(cone_cache) or None
 
     def run(
         self,
@@ -541,12 +727,18 @@ class AnalysisEngine:
         context.budget = budget
         result = IdentificationResult()
         result.trace.jobs = self.config.jobs
+        chain: Optional[ConeCacheChain] = None
+        if self.cone_tiers:
+            chain = ConeCacheChain(
+                cone_fingerprint(self.config), self.cone_tiers
+            )
         art = StageArtifacts(
             netlist=netlist,
             config=self.config,
             context=context,
             result=result,
             budget=budget,
+            cone_cache=chain,
         )
         self._preflight(art)
         skipped_from: Optional[str] = None
@@ -578,6 +770,9 @@ class AnalysisEngine:
                 perf_counter() - stage_started
             )
         result.trace.cache.merge(context.stats)
+        if chain is not None:
+            chain.add_to(result.trace.cache)
+            chain.publish_metrics()
         result.runtime_seconds = perf_counter() - started
         self._publish_metrics(result)
         return result

@@ -81,6 +81,14 @@ class CacheStats:
     re-check after each control-signal assignment: reused keys were taken
     verbatim from the unreduced circuit because the assignment provably did
     not touch that subtree; rehashed keys had to be recomputed.
+
+    The ``cone_tier_*`` counters track the canonical cone cache
+    (:mod:`repro.core.conecache`, DESIGN.md §12): subgroup searches
+    answered by the per-process table (tier 2), by the store-backed tier
+    (tier 3), searched fresh (misses), and fresh outcomes committed.
+    Like every cache statistic they are outside
+    :meth:`StageTrace.counter_dict` — hit and miss runs stay
+    byte-identical on everything the determinism oracles compare.
     """
 
     cone_hits: int = 0
@@ -96,6 +104,10 @@ class CacheStats:
     netset_misses: int = 0
     reduced_keys_reused: int = 0
     reduced_keys_rehashed: int = 0
+    cone_tier_process_hits: int = 0
+    cone_tier_store_hits: int = 0
+    cone_tier_misses: int = 0
+    cone_tier_commits: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         for name in self.__dataclass_fields__:
@@ -121,6 +133,13 @@ class CacheStats:
     def reduced_reuse_rate(self) -> float:
         return self._rate(self.reduced_keys_reused, self.reduced_keys_rehashed)
 
+    @property
+    def cone_tier_hit_rate(self) -> float:
+        return self._rate(
+            self.cone_tier_process_hits + self.cone_tier_store_hits,
+            self.cone_tier_misses,
+        )
+
     def lines(self) -> List[str]:
         return [
             f"cone cache:          {self.cone_hits} hits / "
@@ -135,6 +154,11 @@ class CacheStats:
             f"reduced-key reuse:   {self.reduced_keys_reused} reused / "
             f"{self.reduced_keys_rehashed} rehashed "
             f"({self.reduced_reuse_rate:.1%})",
+            f"cone-tier cache:     {self.cone_tier_process_hits} process + "
+            f"{self.cone_tier_store_hits} store hits / "
+            f"{self.cone_tier_misses} misses "
+            f"({self.cone_tier_hit_rate:.1%}), "
+            f"{self.cone_tier_commits} committed",
         ]
 
 

@@ -441,6 +441,78 @@ def _check_serve(ctx: OracleContext) -> Optional[str]:
     return None
 
 
+def _check_cone_cache(ctx: OracleContext) -> Optional[str]:
+    """cone-cache-on ≡ cone-cache-off, plus incremental ≡ from-scratch.
+
+    Three comparisons per sample, all against the same canonicalization
+    the ``store`` and ``jobs`` oracles use (words, singletons,
+    assignments, trace counters):
+
+    1. a cold run through a private cone-cache tier equals the plain run;
+    2. a warm rerun through the same tier equals it too, *and* actually
+       replayed from the cache whenever the cold run committed anything
+       (otherwise the oracle silently stops testing replay);
+    3. a one-gate-edited variant analyzed with the warm tier — the
+       incremental path — equals the same edit analyzed from scratch.
+    """
+    from ..core.conecache import ProcessConeCache
+    from ..netlist.cells import AND, OR
+
+    def canon(result: IdentificationResult):
+        return (
+            [word.bits for word in result.words],
+            list(result.singletons),
+            {
+                word.bits: control.assignments
+                for word, control in result.control_assignments.items()
+            },
+            result.trace.counter_dict(),
+        )
+
+    plain = ctx.ours
+    tier = ProcessConeCache()
+    cold = identify_words(
+        ctx.sample.netlist, ctx.ours_config, cone_cache=[tier]
+    )
+    if canon(cold) != canon(plain):
+        return "cone-cache-on (cold) differs from cone-cache-off"
+    warm = identify_words(
+        ctx.sample.netlist, ctx.ours_config, cone_cache=[tier]
+    )
+    if canon(warm) != canon(plain):
+        return "cone-cache-on (warm) differs from cone-cache-off"
+    committed = cold.trace.cache.cone_tier_commits
+    replayed = (
+        warm.trace.cache.cone_tier_process_hits
+        + warm.trace.cache.cone_tier_store_hits
+    )
+    if committed and not replayed:
+        return (
+            f"warm run replayed nothing ({committed} entries committed "
+            f"by the cold run)"
+        )
+
+    # Incremental ≡ from-scratch on a one-gate edit (cell swap keeps the
+    # netlist valid and the file order identical).
+    edited = ctx.sample.netlist.copy()
+    swappable = [
+        g for g in edited.gates_in_file_order()
+        if not g.is_ff and g.cell.name in ("AND", "OR")
+        and len(g.inputs) >= 2
+    ]
+    if not swappable:
+        return None  # nothing safely editable; first two checks stand
+    gate = swappable[ctx.rng(0xC03E).randrange(len(swappable))]
+    edited.replace_gate(
+        gate.name, OR if gate.cell.name == "AND" else AND, gate.inputs
+    )
+    incremental = identify_words(edited, ctx.ours_config, cone_cache=[tier])
+    scratch = identify_words(edited.copy(), ctx.ours_config)
+    if canon(incremental) != canon(scratch):
+        return "incremental (warm-tier) run differs from from-scratch"
+    return None
+
+
 def _check_reduction_functional(ctx: OracleContext) -> Optional[str]:
     problems = verify_reductions(
         ctx.sample.netlist, ctx.ours,
@@ -459,6 +531,7 @@ DEFAULT_ORACLES: Tuple[Tuple[str, Callable[[OracleContext], Optional[str]]], ...
     ("ours_superset", _check_ours_superset),
     ("jobs", _check_jobs),
     ("store", _check_store),
+    ("cone_cache", _check_cone_cache),
     ("serve", _check_serve),
     ("rename", _check_rename),
     ("reversal", _check_reversal),

@@ -32,7 +32,10 @@ __all__ = ["SCHEMA_VERSION", "PIPELINE_VERSION", "stamp"]
 #: Current payload-shape version (see module docstring for the bump rule).
 #: v3: serve response envelopes (identify/batch/error/health), the
 #: ``--metrics-json`` dump, and ``result_digest`` in identify ``--json``.
-SCHEMA_VERSION = 3
+#: v4: cone-cache tier counters in trace ``cache`` and batch rows, the
+#: ``cone`` store-envelope kind, and the incremental-report payload
+#: (library ``as_dict`` and the serve ``base_digest`` response).
+SCHEMA_VERSION = 4
 
 
 def stamp(payload: Dict) -> Dict:

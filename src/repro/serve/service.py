@@ -318,11 +318,44 @@ class AnalysisService:
 
     def _identify(self, payload: Dict) -> Response:
         session = self._request_session(payload)
+        if payload.get("base_digest") is not None:
+            return self._identify_incremental(session, payload)
         try:
             report = self._analyze_one(session, payload)
         except _DigestMiss as miss:
             return _error(404, "unknown_digest", miss.digest)
         return _json_response(200, report.as_dict())
+
+    def _identify_incremental(
+        self, session: Session, payload: Dict
+    ) -> Response:
+        """``POST /v1/identify`` with ``base_digest``: an edited design
+        re-analyzed against a previously stored base — same words as a
+        from-scratch request, plus the diff and cone-reuse accounting of
+        :meth:`repro.api.Session.analyze_incremental`."""
+        base_digest = payload.get("base_digest")
+        if not isinstance(base_digest, str):
+            raise ValueError("'base_digest' must be a string")
+        text = payload.get("verilog")
+        if not isinstance(text, str):
+            raise ValueError(
+                "incremental requests need 'verilog' (the edited source)"
+            )
+        format = payload.get("format", "verilog")
+        if format not in ("verilog", "bench"):
+            raise ValueError(f"unknown format {format!r}")
+        if session.store is None:
+            return _error(
+                400, "no_store",
+                "incremental analysis needs a server-side store",
+            )
+        try:
+            incremental = session.analyze_incremental(
+                base_digest, text, format=format
+            )
+        except KeyError:
+            return _error(404, "unknown_digest", base_digest)
+        return _json_response(200, incremental.as_dict())
 
     def _batch(self, payload: Dict) -> Response:
         items = payload.get("netlists")

@@ -20,17 +20,24 @@ Entry points: :class:`ArtifactStore` plugs into
 orchestrator.
 """
 
+from .cones import StoreConeTier
 from .disk import ArtifactStore, StoreStats
 from .keys import (
+    CONE_FINGERPRINT_FIELDS,
+    CONE_NEUTRAL_FIELDS,
     FINGERPRINT_FIELDS,
     bytes_digest,
     cache_key,
+    cone_cache_key,
+    cone_fingerprint,
     config_fingerprint,
     file_digest,
     netlist_digest,
 )
 from .serialize import (
     UnserializableResult,
+    cone_entry_from_dict,
+    cone_entry_to_dict,
     result_digest,
     result_from_dict,
     result_to_dict,
@@ -39,13 +46,20 @@ from .serialize import (
 __all__ = [
     "ArtifactStore",
     "StoreStats",
+    "StoreConeTier",
+    "CONE_FINGERPRINT_FIELDS",
+    "CONE_NEUTRAL_FIELDS",
     "FINGERPRINT_FIELDS",
     "cache_key",
+    "cone_cache_key",
+    "cone_fingerprint",
     "config_fingerprint",
     "bytes_digest",
     "file_digest",
     "netlist_digest",
     "UnserializableResult",
+    "cone_entry_from_dict",
+    "cone_entry_to_dict",
     "result_digest",
     "result_from_dict",
     "result_to_dict",

@@ -1,0 +1,87 @@
+"""Tier 3 of the cone cache: canonical cone entries in the artifact store.
+
+One :class:`StoreConeTier` adapts an :class:`~repro.store.disk.ArtifactStore`
+to the :class:`~repro.core.conecache.ConeCacheTier` protocol.  Entries
+live in the store's ``cone`` kind namespace, addressed by
+:func:`~repro.store.keys.cone_cache_key` — the ``cone:`` canonical
+digest of the subgroup envelope crossed with the *cone* configuration
+fingerprint (narrower than the whole-result fingerprint, so runs that
+differ only in cone-neutral fields share entries).
+
+Because the digest is isomorphism-normalized, the tier is the
+cross-design layer: a cold b17 run hits the entries a b15 run committed
+(its three cores are b15 copies), a b18 run hits entries committed by
+b14, and an edited design re-derives only the cones the edit actually
+dirtied — everything else replays from disk.
+
+Probe and commit are batched end-to-end (``get_many`` / ``put_many``),
+so one reduction stage costs one directory pass regardless of how many
+subgroups it probes, and a burst of tiny entries under cap pressure
+triggers one eviction scan, not one per entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from ..core.conecache import ConeCacheTier
+from .keys import cone_cache_key
+from .serialize import (
+    UnserializableResult,
+    cone_entry_from_dict,
+    cone_entry_to_dict,
+)
+
+__all__ = ["StoreConeTier"]
+
+
+class StoreConeTier(ConeCacheTier):
+    """Store-backed cone-cache tier (see module docstring)."""
+
+    name = "store"
+
+    def __init__(self, store):
+        self.store = store
+
+    def probe_many(
+        self, digests: Sequence[str], fingerprint: str
+    ) -> Dict[str, Dict]:
+        digest_of = {
+            cone_cache_key(digest, fingerprint): digest
+            for digest in digests
+        }
+        hits: Dict[str, Dict] = {}
+        for key, envelope in self.store.get_many(list(digest_of)).items():
+            digest = digest_of[key]
+            if (
+                envelope.get("digest") != digest
+                or envelope.get("config") != fingerprint
+            ):
+                self.store._heal(self.store._path(key))
+                continue
+            try:
+                hits[digest] = cone_entry_from_dict(envelope.get("entry"))
+            except UnserializableResult:
+                self.store._heal(self.store._path(key))
+        return hits
+
+    def commit_many(
+        self, entries: Mapping[str, Dict], fingerprint: str
+    ) -> None:
+        items = []
+        for digest, entry in entries.items():
+            try:
+                payload = cone_entry_to_dict(entry)
+            except UnserializableResult:
+                continue  # refuse, don't poison the digest space
+            items.append((
+                cone_cache_key(digest, fingerprint),
+                "cone",
+                {
+                    "digest": digest,
+                    "config": fingerprint,
+                    "entry": payload,
+                },
+            ))
+        if items:
+            self.store.put_many(items)

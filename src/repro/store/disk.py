@@ -31,7 +31,7 @@ import os
 import tempfile
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .. import metrics as _metrics
 from ..core.pipeline import PIPELINE_VERSION, PipelineConfig
@@ -116,10 +116,17 @@ class ArtifactStore:
         self.stats = StoreStats()
         self._objects = os.path.join(self.root, "objects")
         self._tmp = os.path.join(self.root, "tmp")
+        # Approximate running size of objects/ (see _note_written): lets
+        # a capped store skip the full-directory rescan on most puts.
+        self._size_lock = threading.Lock()
+        self._approx_bytes = 0
+        self._puts_since_rescan = 0
         os.makedirs(self._objects, exist_ok=True)
         os.makedirs(self._tmp, exist_ok=True)
         if max_bytes is not None:
             self._evict()  # a tightened cap applies to existing entries
+        else:
+            self._approx_bytes = self.total_bytes()
 
     # ------------------------------------------------------------------
     # generic object layer
@@ -127,8 +134,8 @@ class ArtifactStore:
     def _path(self, key: str) -> str:
         return os.path.join(self._objects, key[:2], key + ".json")
 
-    def get(self, key: str) -> Optional[Dict]:
-        """The validated envelope stored under ``key``, or ``None``.
+    def _load(self, key: str) -> Optional[Dict]:
+        """The validated envelope under ``key`` — no stats, no LRU touch.
 
         Corrupt, truncated, foreign, or version-mismatched entries are
         self-healed: unlinked (best-effort) and reported as a miss.
@@ -138,11 +145,9 @@ class ArtifactStore:
             with open(path, encoding="utf-8") as handle:
                 envelope = json.load(handle)
         except FileNotFoundError:
-            self.stats.bump("misses")
             return None
         except (OSError, ValueError):
             self._heal(path)
-            self.stats.bump("misses")
             return None
         if (
             not isinstance(envelope, dict)
@@ -151,17 +156,50 @@ class ArtifactStore:
             or envelope.get("key") != key
         ):
             self._heal(path)
-            self.stats.bump("misses")
             return None
+        return envelope
+
+    def _touch(self, key: str) -> None:
         try:  # LRU bump; losing the race to an eviction is harmless
-            os.utime(path)
+            os.utime(self._path(key))
         except OSError:
             pass
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The validated envelope stored under ``key``, or ``None``."""
+        envelope = self._load(key)
+        if envelope is None:
+            self.stats.bump("misses")
+            return None
+        self._touch(key)
         self.stats.bump("hits")
         return envelope
 
-    def put(self, key: str, kind: str, fields: Dict) -> None:
-        """Atomically publish an artifact (tmp-file + rename)."""
+    def get_many(self, keys: Sequence[str]) -> Dict[str, Dict]:
+        """Validated envelopes for ``keys``, keyed by key (misses absent).
+
+        One call, two stats bumps: the per-key lock round trips of N
+        :meth:`get` calls collapse into a single hits bump and a single
+        misses bump, which matters when a reduction stage probes dozens
+        of tiny cone entries at once.
+        """
+        found: Dict[str, Dict] = {}
+        for key in keys:
+            if key in found:
+                continue
+            envelope = self._load(key)
+            if envelope is not None:
+                found[key] = envelope
+                self._touch(key)
+        if found:
+            self.stats.bump("hits", len(found))
+        misses = len(set(keys)) - len(found)
+        if misses:
+            self.stats.bump("misses", misses)
+        return found
+
+    def _write(self, key: str, kind: str, fields: Dict) -> None:
+        """Atomically publish one artifact (tmp-file + rename)."""
         envelope = stamp({"kind": kind, "key": key, **fields})
         payload = json.dumps(envelope, sort_keys=True) + "\n"
         path = self._path(key)
@@ -180,8 +218,53 @@ class ArtifactStore:
                 pass
             raise
         self.stats.bump("puts")
-        if self.max_bytes is not None:
-            self._evict(keep=key)
+        self._note_written(len(payload.encode("utf-8")))
+
+    def _note_written(self, nbytes: int) -> None:
+        with self._size_lock:
+            self._approx_bytes += nbytes
+            self._puts_since_rescan += 1
+
+    def _over_cap_or_stale(self) -> bool:
+        """Whether the approximate size calls for a full eviction scan.
+
+        The running total only grows (overwrites and concurrent
+        processes drift it upward), so it is conservative: it can
+        trigger a scan early, never skip one that is needed — except
+        for drift from *other* processes shrinking the store, which the
+        periodic rescan (every 64 puts) corrects.
+        """
+        with self._size_lock:
+            return (
+                self._approx_bytes > self.max_bytes
+                or self._puts_since_rescan >= 64
+            )
+
+    def put(self, key: str, kind: str, fields: Dict) -> None:
+        """Atomically publish an artifact, then enforce the size cap."""
+        self._write(key, kind, fields)
+        if self.max_bytes is not None and self._over_cap_or_stale():
+            self._evict(keep=(key,))
+
+    def put_many(self, items: Sequence[Tuple[str, str, Dict]]) -> None:
+        """Atomically publish ``(key, kind, fields)`` artifacts.
+
+        The size cap is enforced *once* for the whole batch, with every
+        just-written key protected — a batch of tiny cone entries under
+        cap pressure costs one directory scan, not one per entry (and
+        cannot evict its own writes, the way per-entry eviction of an
+        unrefreshed sibling could).
+        """
+        written = []
+        for key, kind, fields in items:
+            self._write(key, kind, fields)
+            written.append(key)
+        if (
+            written
+            and self.max_bytes is not None
+            and self._over_cap_or_stale()
+        ):
+            self._evict(keep=written)
 
     def _heal(self, path: str) -> None:
         try:
@@ -214,25 +297,29 @@ class ArtifactStore:
                             continue  # evicted by a concurrent process
                         yield entry.path, info.st_size, info.st_mtime_ns
 
-    def _evict(self, keep: Optional[str] = None) -> None:
+    def _evict(self, keep: Sequence[str] = ()) -> None:
+        """Full-scan LRU eviction; also resyncs the approximate size."""
         entries: List[Tuple[str, int, int]] = list(self._entries())
         total = sum(size for _, size, _ in entries)
-        if self.max_bytes is None or total <= self.max_bytes:
-            return
-        protected = self._path(keep) if keep is not None else None
-        # Oldest access first; path breaks mtime ties deterministically.
-        entries.sort(key=lambda item: (item[2], item[0]))
-        for path, size, _ in entries:
-            if total <= self.max_bytes:
-                break
-            if path == protected:
-                continue
-            try:
-                os.unlink(path)
-                self.stats.bump("evictions")
-            except OSError:
-                pass  # already gone — still freed
-            total -= size
+        if self.max_bytes is not None and total > self.max_bytes:
+            protected = {self._path(key) for key in keep}
+            # Oldest access first; path breaks mtime ties
+            # deterministically.
+            entries.sort(key=lambda item: (item[2], item[0]))
+            for path, size, _ in entries:
+                if total <= self.max_bytes:
+                    break
+                if path in protected:
+                    continue
+                try:
+                    os.unlink(path)
+                    self.stats.bump("evictions")
+                except OSError:
+                    pass  # already gone — still freed
+                total -= size
+        with self._size_lock:
+            self._approx_bytes = total
+            self._puts_since_rescan = 0
 
     def keys(self) -> List[str]:
         """Keys of every artifact currently on disk (unordered scan)."""
@@ -367,3 +454,16 @@ class ArtifactStore:
             },
         )
         return key
+
+    # ------------------------------------------------------------------
+    # canonical cone entries
+    # ------------------------------------------------------------------
+    def cone_tier(self):
+        """This store's :class:`~repro.store.cones.StoreConeTier`.
+
+        The presence of this method is what opts a store into the
+        engine's default cone-cache tier chain (DESIGN.md §12).
+        """
+        from .cones import StoreConeTier
+
+        return StoreConeTier(self)

@@ -38,14 +38,23 @@ import hashlib
 import json
 from typing import Dict, Union
 
+from ..core.conecache import (
+    CONE_FINGERPRINT_FIELDS,
+    CONE_NEUTRAL_FIELDS,
+    cone_fingerprint,
+)
 from ..core.pipeline import PIPELINE_VERSION, PipelineConfig
 from ..netlist.netlist import Netlist
 from ..netlist.verilog import write_verilog
 
 __all__ = [
+    "CONE_FINGERPRINT_FIELDS",
+    "CONE_NEUTRAL_FIELDS",
     "FINGERPRINT_FIELDS",
     "bytes_digest",
     "cache_key",
+    "cone_cache_key",
+    "cone_fingerprint",
     "config_fingerprint",
     "file_digest",
     "netlist_digest",
@@ -114,3 +123,20 @@ def cache_key(
         config = config_fingerprint(config)
     material = "\0".join((PIPELINE_VERSION, kind, digest, config))
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def cone_cache_key(
+    digest: str, config: Union[PipelineConfig, str]
+) -> str:
+    """The store address of one canonical cone entry.
+
+    ``digest`` is a ``cone:`` canonical-envelope digest
+    (:func:`repro.core.conecache.canonicalize_subgroup`); ``config`` is a
+    :class:`PipelineConfig` or an already-computed *cone* fingerprint —
+    deliberately the narrower :func:`cone_fingerprint`, not
+    :func:`config_fingerprint`, so runs differing only in cone-neutral
+    fields (``grouping``, ``jobs``, budgets, …) share entries.
+    """
+    if isinstance(config, PipelineConfig):
+        config = cone_fingerprint(config)
+    return cache_key(digest, config, kind="cone")

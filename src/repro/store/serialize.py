@@ -36,6 +36,8 @@ __all__ = [
     "result_to_dict",
     "result_from_dict",
     "result_digest",
+    "cone_entry_to_dict",
+    "cone_entry_from_dict",
     "UnserializableResult",
 ]
 
@@ -103,6 +105,49 @@ def result_from_dict(payload: Dict) -> IdentificationResult:
     result.runtime_seconds = payload.get("runtime_seconds", 0.0)
     result.trace = _trace_from_dict(payload.get("trace", {}))
     return result
+
+
+def cone_entry_to_dict(entry: Dict) -> Dict:
+    """One canonical cone entry as a JSON-ready dict (store payload).
+
+    Entries are already plain JSON values (run lengths, a canonical-id
+    assignment, two counters — see :mod:`repro.core.conecache`); this
+    validates the shape and normalizes field order so persisted entries
+    are canonical, raising :class:`UnserializableResult` on anything
+    malformed rather than poisoning the ``cone:`` space.
+    """
+    try:
+        runs = [int(r) for r in entry["runs"]]
+        assignment = entry.get("assignment")
+        if assignment is not None:
+            assignment = {
+                str(cid): int(val) for cid, val in assignment.items()
+            }
+        normalized = {
+            "runs": runs,
+            "assignment": assignment,
+            "tried": int(entry["tried"]),
+            "infeasible": int(entry["infeasible"]),
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise UnserializableResult(f"malformed cone entry: {exc}") from exc
+    if any(r <= 0 for r in runs) or normalized["tried"] < 0:
+        raise UnserializableResult("malformed cone entry: bad counters")
+    if assignment is not None and any(
+        val not in (0, 1) for val in assignment.values()
+    ):
+        raise UnserializableResult("malformed cone entry: bad assignment")
+    return normalized
+
+
+def cone_entry_from_dict(payload: Dict) -> Dict:
+    """Inverse of :func:`cone_entry_to_dict` (same canonical shape).
+
+    Store-loaded payloads pass through the identical validation — a
+    hand-edited or bit-rotted entry raises and is healed by the caller
+    instead of being replayed.
+    """
+    return cone_entry_to_dict(payload)
 
 
 def result_digest(result: IdentificationResult) -> str:

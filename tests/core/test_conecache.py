@@ -1,0 +1,315 @@
+"""Unit tests for the tiered canonical-cone cache (repro.core.conecache).
+
+The cone cache replays reduction-search outcomes across runs, processes,
+and designs (DESIGN.md §12).  Everything here is correctness-critical:
+an unsound canonical digest would silently replay the wrong assignment,
+so the digest tests pin isomorphism-invariance and structure-sensitivity
+directly, and the end-to-end tests assert cone-cache-on ≡ cone-cache-off
+byte identity on the paper's Figure-1 circuit.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro.core import PipelineConfig, identify_words
+from repro.core.conecache import (
+    CanonicalCone,
+    ConeCacheChain,
+    ConeCacheTier,
+    ProcessConeCache,
+    canonicalize_subgroup,
+    cone_fingerprint,
+    process_cone_cache,
+    valid_cone_entry,
+)
+from repro.core.control import ControlSignalCandidate
+from repro.core.words import CacheStats
+from repro.netlist import NetlistBuilder
+from repro.store import result_digest
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from fixtures import figure1_netlist  # noqa: E402
+
+
+def _tree(prefix):
+    """A 2-bit subcircuit: per bit, NAND(ctl, INV(leaf)); nets named
+    with ``prefix`` so two calls differ in every name."""
+    b = NetlistBuilder(prefix)
+    ctl = b.input(f"{prefix}_ctl")
+    bits = []
+    for i in range(2):
+        leaf = b.input(f"{prefix}_leaf{i}")
+        inv = b.inv(leaf, output=f"{prefix}_inv{i}")
+        bits.append(b.nand(ctl, inv, output=f"{prefix}_bit{i}"))
+    netlist = b.build()
+    candidates = [ControlSignalCandidate(net=ctl, values=(0,))]
+    return netlist, bits, candidates
+
+
+class TestCanonicalDigest:
+    def test_digest_is_invariant_under_renaming(self):
+        """Two structurally identical subgroups with disjoint net-name
+        universes share one canonical digest (the cross-design case)."""
+        a = canonicalize_subgroup(*_tree("alpha"))
+        b = canonicalize_subgroup(*_tree("zz"))
+        assert a is not None and b is not None
+        assert a.digest == b.digest
+        assert a.digest.startswith("cone:")
+
+    def test_id_maps_are_inverse_and_local(self):
+        netlist, bits, candidates = _tree("alpha")
+        cone = canonicalize_subgroup(netlist, bits, candidates)
+        assert cone.net_of == {v: k for k, v in cone.id_of.items()}
+        # The candidate control net is part of the traversal.
+        assert candidates[0].net in cone.id_of
+
+    def test_digest_changes_with_structure(self):
+        netlist, bits, candidates = _tree("alpha")
+        base = canonicalize_subgroup(netlist, bits, candidates)
+        edited = netlist.copy()
+        gate = edited.driver(bits[0])
+        from repro.netlist.cells import NOR
+
+        edited.replace_gate(gate.name, NOR, gate.inputs)
+        assert (
+            canonicalize_subgroup(edited, bits, candidates).digest
+            != base.digest
+        )
+
+    def test_symmetric_bits_may_commute_asymmetric_ones_must_not(self):
+        """Reversing the bits of a fully symmetric tree relabels it onto
+        itself (same digest — sound, the bits are interchangeable), but
+        structurally distinct bits must keep their order in the digest."""
+        netlist, bits, candidates = _tree("alpha")
+        symmetric = canonicalize_subgroup(netlist, bits, candidates)
+        assert (
+            canonicalize_subgroup(
+                netlist, list(reversed(bits)), candidates
+            ).digest
+            == symmetric.digest
+        )
+
+        b = NetlistBuilder("asym")
+        ctl = b.input("ctl")
+        shallow = b.nand(ctl, b.input("leaf0"), output="bit0")
+        deep = b.nand(ctl, b.inv(b.input("leaf1")), output="bit1")
+        asym = b.build()
+        cands = [ControlSignalCandidate(net=ctl, values=(0,))]
+        assert (
+            canonicalize_subgroup(asym, [shallow, deep], cands).digest
+            != canonicalize_subgroup(asym, [deep, shallow], cands).digest
+        )
+
+    def test_digest_covers_the_candidate_value_list(self):
+        netlist, bits, candidates = _tree("alpha")
+        base = canonicalize_subgroup(netlist, bits, candidates)
+        widened = canonicalize_subgroup(netlist, bits, [
+            ControlSignalCandidate(net=candidates[0].net, values=(0, 1))
+        ])
+        assert base.digest != widened.digest
+
+    def test_unknown_candidate_net_refuses_to_canonicalize(self):
+        """A candidate outside the traversal aborts digesting (an
+        unsound digest is worse than a missed cache)."""
+        netlist, bits, _ = _tree("alpha")
+        foreign = [ControlSignalCandidate(net="not_in_cone", values=(0,))]
+        assert canonicalize_subgroup(netlist, bits, foreign) is None
+
+
+class TestValidConeEntry:
+    def test_accepts_a_well_formed_entry(self):
+        entry = {
+            "runs": [2, 1],
+            "assignment": {"n3": 0},
+            "tried": 2,
+            "infeasible": 1,
+        }
+        assert valid_cone_entry(entry, 3)
+        assert valid_cone_entry(
+            {"runs": [3], "assignment": None, "tried": 0, "infeasible": 0},
+            3,
+        )
+
+    @pytest.mark.parametrize("entry", [
+        "nope",
+        {"runs": [2], "assignment": None, "tried": 0, "infeasible": 0},
+        {"runs": [2, 0, 1], "assignment": None, "tried": 0, "infeasible": 0},
+        {"runs": [3], "assignment": {"n1": 2}, "tried": 0, "infeasible": 0},
+        {"runs": [3], "assignment": None, "tried": -1, "infeasible": 0},
+        {"runs": [3], "assignment": None, "tried": 0},
+    ])
+    def test_rejects_malformed_entries(self, entry):
+        assert not valid_cone_entry(entry, 3)
+
+
+class TestProcessConeCache:
+    def test_round_trip_is_fingerprint_scoped(self):
+        tier = ProcessConeCache()
+        entry = {"runs": [1], "assignment": None, "tried": 0,
+                 "infeasible": 0}
+        tier.commit_many({"cone:a": entry}, "fp1")
+        assert tier.probe_many(["cone:a"], "fp1") == {"cone:a": entry}
+        assert tier.probe_many(["cone:a"], "fp2") == {}
+        assert tier.probe_many(["cone:b"], "fp1") == {}
+
+    def test_lru_evicts_least_recently_probed(self):
+        tier = ProcessConeCache(max_entries=2)
+        e = {"runs": [1], "assignment": None, "tried": 0, "infeasible": 0}
+        tier.commit_many({"cone:a": e, "cone:b": e}, "fp")
+        tier.probe_many(["cone:a"], "fp")  # refresh a; b is now oldest
+        tier.commit_many({"cone:c": e}, "fp")
+        assert len(tier) == 2
+        assert tier.probe_many(["cone:b"], "fp") == {}
+        assert set(tier.probe_many(["cone:a", "cone:c"], "fp")) == {
+            "cone:a", "cone:c"
+        }
+
+    def test_clear_and_cap_validation(self):
+        tier = ProcessConeCache(max_entries=1)
+        e = {"runs": [1], "assignment": None, "tried": 0, "infeasible": 0}
+        tier.commit_many({"cone:a": e}, "fp")
+        tier.clear()
+        assert len(tier) == 0
+        with pytest.raises(ValueError):
+            ProcessConeCache(max_entries=0)
+
+    def test_process_singleton_is_shared(self):
+        assert process_cone_cache() is process_cone_cache()
+
+
+class _DictTier(ConeCacheTier):
+    """A minimal in-memory tier for chain tests."""
+
+    def __init__(self, name):
+        self.name = name
+        self.entries = {}
+
+    def probe_many(self, digests, fingerprint):
+        return {
+            d: self.entries[(fingerprint, d)]
+            for d in digests
+            if (fingerprint, d) in self.entries
+        }
+
+    def commit_many(self, entries, fingerprint):
+        for digest, entry in entries.items():
+            self.entries[(fingerprint, digest)] = entry
+
+
+class TestConeCacheChain:
+    ENTRY = {"runs": [1], "assignment": None, "tried": 0, "infeasible": 0}
+
+    def test_probe_promotes_store_hits_into_earlier_tiers(self):
+        fast, slow = _DictTier("process"), _DictTier("store")
+        slow.commit_many({"cone:a": self.ENTRY}, cone_fingerprint(
+            PipelineConfig()))
+        chain = ConeCacheChain(
+            cone_fingerprint(PipelineConfig()), [fast, slow]
+        )
+        assert chain.probe_many(["cone:a"]) == {"cone:a": self.ENTRY}
+        assert chain.hits == {"process": 0, "store": 1}
+        # Promoted: the second probe is answered by the first tier.
+        assert chain.probe_many(["cone:a"]) == {"cone:a": self.ENTRY}
+        assert chain.hits == {"process": 1, "store": 1}
+
+    def test_accounting_is_per_request_not_per_digest(self):
+        """A design instantiating one cone three times records three
+        answered searches — that is what its hit rate means."""
+        tier = _DictTier("process")
+        tier.commit_many({"cone:a": self.ENTRY}, "fp")
+        chain = ConeCacheChain("fp", [tier])
+        found = chain.probe_many(["cone:a", "cone:a", "cone:a", "cone:b"])
+        assert set(found) == {"cone:a"}
+        assert chain.hits == {"process": 3}
+        assert chain.misses == 1
+
+    def test_commit_writes_through_every_tier(self):
+        fast, slow = _DictTier("process"), _DictTier("store")
+        chain = ConeCacheChain("fp", [fast, slow])
+        chain.commit_many({"cone:a": self.ENTRY})
+        chain.commit_many({})  # no-op, not counted
+        assert chain.commits == 1
+        assert fast.probe_many(["cone:a"], "fp")
+        assert slow.probe_many(["cone:a"], "fp")
+
+    def test_add_to_maps_tier_names_onto_cache_stats(self):
+        chain = ConeCacheChain("fp", [_DictTier("process"),
+                                      _DictTier("store")])
+        chain.hits = {"process": 2, "store": 3}
+        chain.misses = 4
+        chain.commits = 5
+        stats = CacheStats()
+        chain.add_to(stats)
+        assert stats.cone_tier_process_hits == 2
+        assert stats.cone_tier_store_hits == 3
+        assert stats.cone_tier_misses == 4
+        assert stats.cone_tier_commits == 5
+
+
+class TestConeFingerprint:
+    def test_neutral_fields_do_not_change_the_fingerprint(self):
+        assert cone_fingerprint(PipelineConfig()) == cone_fingerprint(
+            PipelineConfig(jobs=8, strict=True, deadline_s=1.0,
+                           max_cone_gates=10)
+        )
+
+    def test_fingerprint_fields_do_change_it(self):
+        base = cone_fingerprint(PipelineConfig())
+        assert base != cone_fingerprint(PipelineConfig(depth=3))
+        assert base != cone_fingerprint(PipelineConfig(max_simultaneous=1))
+
+
+class TestEndToEnd:
+    """Cone caching must be invisible in the output (the determinism
+    contract) and visible only in the CacheStats tier counters."""
+
+    def _same(self, a, b):
+        assert a.words == b.words
+        assert a.singletons == b.singletons
+        assert a.control_assignments == b.control_assignments
+        assert a.trace.counter_dict() == b.trace.counter_dict()
+        assert result_digest(a) == result_digest(b)
+
+    def test_cone_cache_on_equals_off_and_warm_run_replays(self):
+        netlist, _ = figure1_netlist()
+        config = PipelineConfig()
+        plain = identify_words(netlist, config)
+        tier = ProcessConeCache()
+        cold = identify_words(netlist, config, cone_cache=[tier])
+        warm = identify_words(netlist, config, cone_cache=[tier])
+        self._same(plain, cold)
+        self._same(plain, warm)
+        assert cold.trace.cache.cone_tier_commits > 0
+        assert cold.trace.cache.cone_tier_process_hits == 0
+        assert warm.trace.cache.cone_tier_process_hits > 0
+        assert warm.trace.cache.cone_tier_misses == 0
+
+    def test_renamed_design_hits_the_same_tier(self):
+        """Isomorphic designs with different net names share entries —
+        the cross-design promise, in miniature."""
+        netlist, _ = figure1_netlist()
+        renamed = netlist.copy("other_top")
+        config = PipelineConfig()
+        tier = ProcessConeCache()
+        identify_words(netlist, config, cone_cache=[tier])
+        warm = identify_words(renamed, config, cone_cache=[tier])
+        assert warm.trace.cache.cone_tier_process_hits > 0
+        assert warm.trace.cache.cone_tier_misses == 0
+
+    def test_fault_hook_disables_cone_caching(self):
+        netlist, _ = figure1_netlist()
+        calls = []
+        config = PipelineConfig(fault_hook=lambda site: calls.append(site))
+        tier = ProcessConeCache()
+        result = identify_words(netlist, config, cone_cache=[tier])
+        assert len(tier) == 0
+        assert result.trace.cache.cone_tier_commits == 0
+
+    def test_cone_cache_false_opts_out(self):
+        netlist, _ = figure1_netlist()
+        result = identify_words(netlist, PipelineConfig(), cone_cache=False)
+        stats = result.trace.cache
+        assert stats.cone_tier_commits == 0
+        assert stats.cone_tier_misses == 0

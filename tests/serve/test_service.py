@@ -250,3 +250,75 @@ class TestAdmissionControl:
         # healthz still answers: the process is alive, just not admitting.
         assert service.call("GET", "/healthz").status == 200
         assert service.drained()
+
+
+class TestIdentifyIncremental:
+    @staticmethod
+    def _edited_text():
+        from repro.netlist.cells import AND, NAND
+
+        netlist, _ = figure1_netlist()
+        gate = next(
+            g for g in netlist.gates_in_file_order()
+            if not g.is_ff and g.cell.name == "NAND" and len(g.inputs) == 2
+        )
+        edited = netlist.copy()
+        edited.replace_gate(gate.name, AND, gate.inputs)
+        return write_verilog(edited), gate.name
+
+    def test_incremental_round_trip(self, service, verilog_text):
+        base = service.call(
+            "POST", "/v1/identify", {"verilog": verilog_text}
+        )
+        assert base.status == 200
+        edited_text, edited_gate = self._edited_text()
+        response = service.call("POST", "/v1/identify", {
+            "base_digest": base.json["digest"],
+            "verilog": edited_text,
+        })
+        assert response.status == 200
+        body = response.json
+        assert body["base_digest"] == base.json["digest"]
+        assert body["diff"]["gates_changed"] == [edited_gate]
+        assert body["diff"]["dirty_bits"] <= body["diff"]["total_bits"]
+        assert 0.0 <= body["cone_cache"]["reuse_rate"] <= 1.0
+        assert body["schema_version"] == SCHEMA_VERSION
+        # Byte-identical to a from-scratch request for the edited text.
+        scratch = service.call(
+            "POST", "/v1/identify", {"verilog": edited_text}
+        )
+        assert (
+            body["report"]["result_digest"]
+            == scratch.json["result_digest"]
+        )
+        assert body["report"]["words"] == scratch.json["words"]
+
+    def test_unknown_base_digest_is_404(self, service, verilog_text):
+        response = service.call("POST", "/v1/identify", {
+            "base_digest": "netlist:" + "0" * 64,
+            "verilog": verilog_text,
+        })
+        assert response.status == 404
+        assert response.json["error"] == "unknown_digest"
+
+    def test_incremental_without_store_is_400(self, verilog_text):
+        service = AnalysisService(Session(), workers=1, queue_size=2)
+        try:
+            response = service.call("POST", "/v1/identify", {
+                "base_digest": "netlist:" + "0" * 64,
+                "verilog": verilog_text,
+            })
+            assert response.status == 400
+            assert response.json["error"] == "no_store"
+        finally:
+            service.close()
+
+    def test_incremental_needs_the_edited_source(self, service,
+                                                 verilog_text):
+        base = service.call(
+            "POST", "/v1/identify", {"verilog": verilog_text}
+        )
+        response = service.call("POST", "/v1/identify", {
+            "base_digest": base.json["digest"],
+        })
+        assert response.status == 400

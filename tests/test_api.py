@@ -173,3 +173,99 @@ class TestDeprecatedShims:
         assert not [
             w for w in recwarn if w.category is DeprecationWarning
         ]
+
+
+class TestAnalyzeIncremental:
+    """Incremental re-analysis: byte-identical to from-scratch, with the
+    edit diff and cone-cache reuse reported alongside."""
+
+    @staticmethod
+    def _one_gate_edit(netlist):
+        from repro.netlist.cells import AND, OR
+
+        edited = netlist.copy()
+        gate = next(
+            g for g in edited.gates_in_file_order()
+            if not g.is_ff
+            and g.cell.name in ("AND", "OR")
+            and len(g.inputs) >= 2
+        )
+        swapped = OR if gate.cell.name == "AND" else AND
+        edited.replace_gate(gate.name, swapped, gate.inputs)
+        return edited, gate.name
+
+    def test_requires_a_store(self, netlist):
+        with pytest.raises(ValueError, match="store"):
+            Session().analyze_incremental("netlist:x", netlist)
+
+    def test_unknown_base_digest_raises_key_error(self, netlist, tmp_path):
+        session = Session(store=str(tmp_path / "store"))
+        with pytest.raises(KeyError, match="unknown base digest"):
+            session.analyze_incremental("netlist:" + "0" * 64, netlist)
+
+    def test_edit_report_and_byte_identity(self, tmp_path):
+        base = BENCHMARKS["b03"]()
+        edited, edited_gate = self._one_gate_edit(base)
+        session = Session(store=str(tmp_path / "store"))
+        base_report = session.analyze(base)
+        inc = session.analyze_incremental(base_report.digest, edited)
+
+        assert inc.base_digest == base_report.digest
+        assert inc.gates_changed == (edited_gate,)
+        assert inc.gates_added == () and inc.gates_removed == ()
+        assert inc.num_edits == 1
+        assert 0 < inc.dirty_bits <= inc.total_bits
+        assert inc.total_bits == len(base.register_input_nets())
+
+        scratch = Session(config=session.config).analyze(edited)
+        assert inc.report.words == scratch.words
+        assert inc.report.singletons == scratch.singletons
+        assert inc.report.result_digest == scratch.result_digest
+
+    def test_chaining_through_the_returned_digest(self, tmp_path):
+        base = BENCHMARKS["b03"]()
+        edited, _ = self._one_gate_edit(base)
+        session = Session(store=str(tmp_path / "store"))
+        first = session.analyze(base)
+        inc = session.analyze_incremental(first.digest, edited)
+        # The edited digest is a valid base for the next edit (here: an
+        # edit back to the original design).
+        back = session.analyze_incremental(inc.digest, base)
+        assert back.base_digest == inc.digest
+        assert back.report.result_digest == first.result_digest
+
+    def test_as_dict_shape(self, tmp_path):
+        base = BENCHMARKS["b03"]()
+        edited, _ = self._one_gate_edit(base)
+        session = Session(store=str(tmp_path / "store"))
+        inc = session.analyze_incremental(
+            session.analyze(base).digest, edited
+        )
+        payload = inc.as_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert set(payload["diff"]) == {
+            "gates_added", "gates_removed", "gates_changed",
+            "dirty_nets", "dirty_bits", "total_bits",
+        }
+        assert set(payload["cone_cache"]) == {
+            "hits", "misses", "commits", "reuse_rate",
+        }
+        assert payload["report"]["result_digest"] == inc.report.result_digest
+        assert 0.0 <= payload["cone_cache"]["reuse_rate"] <= 1.0
+
+    def test_accepts_text_paths_and_netlists(self, tmp_path):
+        base = BENCHMARKS["b03"]()
+        edited, _ = self._one_gate_edit(base)
+        session = Session(store=str(tmp_path / "store"))
+        digest = session.analyze(base).digest
+        text = write_verilog(edited)
+        path = tmp_path / "edited.v"
+        path.write_text(text)
+        from_text = session.analyze_incremental(digest, text)
+        from_path = session.analyze_incremental(digest, str(path))
+        from_netlist = session.analyze_incremental(digest, edited)
+        assert (
+            from_text.report.result_digest
+            == from_path.report.result_digest
+            == from_netlist.report.result_digest
+        )

@@ -186,3 +186,74 @@ class TestGlobalInstall:
         stage_hist = reg.get("repro_stage_seconds")
         assert stage_hist is not None
         assert stage_hist.count(stage="grouping") >= 1
+
+
+class TestConeAndIncrementalMetricNames:
+    """Pins the wire names of the cone-cache and incremental metrics.
+
+    Dashboards and the CI batch-cache job key on these exact names; a
+    rename is a breaking change and must show up here, not in Grafana.
+    """
+
+    def teardown_method(self):
+        metrics.uninstall()
+
+    def test_cone_tier_metrics_from_a_cold_then_warm_run(self):
+        import sys, os
+        sys.path.insert(0, os.path.dirname(__file__))
+        from fixtures import figure1_netlist
+        from repro.core import PipelineConfig, identify_words
+        from repro.core.conecache import ProcessConeCache
+
+        netlist, _ = figure1_netlist()
+        config = PipelineConfig()
+        tier = ProcessConeCache()
+        reg = metrics.install()
+        identify_words(netlist, config, cone_cache=[tier])
+        identify_words(netlist, config, cone_cache=[tier])
+
+        commits = reg.get("repro_cone_tier_commits_total")
+        misses = reg.get("repro_cone_tier_misses_total")
+        hits = reg.get("repro_cone_tier_hits_total")
+        assert commits is not None and commits.value() > 0
+        assert misses is not None and misses.value() > 0
+        assert hits is not None and hits.value(tier="process") > 0
+
+    def test_incremental_metrics_from_one_incremental_run(self, tmp_path):
+        from repro.api import Session
+        from repro.netlist.cells import AND, NAND
+        from repro.synth.designs import BENCHMARKS
+
+        base = BENCHMARKS["b03"]()
+        edited = base.copy()
+        gate = next(
+            g for g in edited.gates_in_file_order()
+            if not g.is_ff and g.cell.name in ("AND", "OR")
+            and len(g.inputs) >= 2
+        )
+        edited.replace_gate(gate.name, NAND, gate.inputs)
+
+        session = Session(store=str(tmp_path / "store"))
+        digest = session.analyze(base).digest
+        reg = metrics.install()
+        inc = session.analyze_incremental(digest, edited)
+
+        runs = reg.get("repro_incremental_runs_total")
+        dirty = reg.get("repro_incremental_dirty_bits_total")
+        assert runs is not None and runs.value() == 1.0
+        assert dirty is not None and dirty.value() == float(inc.dirty_bits)
+
+    def test_batch_cone_tier_metrics_from_a_published_row(self):
+        from repro.batch import _publish_row
+
+        reg = metrics.install()
+        _publish_row({
+            "cache": "miss",
+            "wall_seconds": 0.1,
+            "cone_cache": {"hits": 3, "misses": 2, "commits": 2,
+                           "hit_rate": 0.6},
+        })
+        hits = reg.get("repro_batch_cone_tier_hits_total")
+        misses = reg.get("repro_batch_cone_tier_misses_total")
+        assert hits is not None and hits.value() == 3.0
+        assert misses is not None and misses.value() == 2.0

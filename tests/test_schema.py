@@ -77,14 +77,49 @@ def current_shapes():
         shapes["journal_row.technique"] = sorted(row["ours"])
 
         # The facade's AnalysisReport and the store's result envelope.
+        # The process cone tier is cleared so the cone entries this run
+        # derives are committed to the store (a warm process tier from an
+        # earlier test in the same pytest process would satisfy the
+        # probes and leave the store without a cone envelope to pin).
+        from repro.core.conecache import process_cone_cache
+
+        process_cone_cache().clear()
         store_root = os.path.join(tmp, "store")
         session = Session(store=store_root)
         analysis = session.analyze(design)
         payload = analysis.as_dict()
         shapes["analysis_report"] = sorted(payload)
-        envelope = ArtifactStore(store_root).get(analysis.key)
+        store = ArtifactStore(store_root)
+        envelope = store.get(analysis.key)
         shapes["store_result_envelope"] = sorted(envelope)
         shapes["store_result_payload"] = sorted(envelope["result"])
+
+        # The store's cone-entry envelope (committed by the run above).
+        cone_envelopes = [
+            e for e in (store.get(key) for key in store.keys())
+            if e and e.get("kind") == "cone"
+        ]
+        assert cone_envelopes, "analysis committed no cone entries"
+        shapes["store_cone_envelope"] = sorted(cone_envelopes[0])
+        shapes["store_cone_entry"] = sorted(cone_envelopes[0]["entry"])
+
+        # Incremental re-analysis (library payload).
+        from repro.netlist.cells import AND
+
+        edited = netlist.copy()
+        edited_gate = next(
+            g for g in edited.gates_in_file_order()
+            if not g.is_ff and g.cell.name == "NAND"
+            and len(g.inputs) == 2
+        )
+        edited.replace_gate(edited_gate.name, AND, edited_gate.inputs)
+        incremental = session.analyze_incremental(analysis.digest, edited)
+        inc_payload = incremental.as_dict()
+        shapes["incremental_report"] = sorted(inc_payload)
+        shapes["incremental_report.diff"] = sorted(inc_payload["diff"])
+        shapes["incremental_report.cone_cache"] = sorted(
+            inc_payload["cone_cache"]
+        )
 
         # repro batch rows and aggregate.
         batch = analyze_corpus([design], store=store_root)
@@ -111,6 +146,14 @@ def current_shapes():
             shapes["serve_batch_row"] = sorted(served_batch.json["rows"][0])
             shapes["serve_batch_aggregate"] = sorted(
                 served_batch.json["aggregate"]
+            )
+            served_inc = service.call("POST", "/v1/identify", {
+                "base_digest": identify.json["digest"],
+                "verilog": write_verilog(edited),
+            })
+            assert served_inc.status == 200
+            shapes["serve_identify_incremental_response"] = sorted(
+                served_inc.json
             )
             error = service.call("POST", "/v1/identify", {})
             assert error.status == 400
@@ -141,8 +184,8 @@ def load_golden():
 
 
 class TestVersionStamps:
-    def test_schema_version_is_3(self):
-        assert SCHEMA_VERSION == 3
+    def test_schema_version_is_4(self):
+        assert SCHEMA_VERSION == 4
 
     def test_stamp_prepends_current_versions(self):
         stamped = stamp({"x": 1, "schema_version": 999})
