@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""CI chaos drill: a full-disk store must not change batch output.
+
+Runs the flagship DESIGN.md §13 scenario end to end over real
+subprocesses:
+
+1. **Baseline** — a fault-free `repro batch` over a small corpus with a
+   fresh store; record its `corpus_digest`.
+2. **Drill** — the same corpus, fresh store, with `ENOSPC` injected on
+   *every* store write (`REPRO_FAULTS=store.write:always`) and the
+   degraded-mode threshold forced to 1 (`REPRO_STORE_DEGRADED_AFTER=1`):
+   the very first write error flips every worker's store to
+   write-bypass.  The run must exit 0 (nothing quarantined: a cache
+   that cannot write is slower, never fatal) and produce a
+   **byte-identical** `corpus_digest`.
+3. **Proof of injection** — the drill store must hold zero committed
+   artifacts; the baseline store must hold many.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_drill.py [--scratch DIR] [--jobs N]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.netlist import write_verilog  # noqa: E402
+from repro.synth.designs import BENCHMARKS  # noqa: E402
+
+
+def _env(faults=None, degraded_after=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(REPO, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_STORE_DEGRADED_AFTER", None)
+    if faults is not None:
+        env["REPRO_FAULTS"] = faults
+    if degraded_after is not None:
+        env["REPRO_STORE_DEGRADED_AFTER"] = str(degraded_after)
+    return env
+
+
+def build_corpus(scratch):
+    corpus_dir = os.path.join(scratch, "corpus")
+    os.makedirs(corpus_dir, exist_ok=True)
+    paths = []
+    for name in ("b03", "b07", "b08", "b13"):
+        path = os.path.join(corpus_dir, name + ".v")
+        if not os.path.exists(path):
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(write_verilog(BENCHMARKS[name]()))
+        paths.append(path)
+    return paths
+
+
+def run_batch(paths, store, report_path, jobs, env):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.batch", *paths,
+         "--store", store, "--jobs", str(jobs),
+         "--report", report_path, "--quiet"],
+        env=env, capture_output=True, text=True,
+    )
+    if result.returncode != 0:
+        print(result.stdout, file=sys.stderr)
+        print(result.stderr, file=sys.stderr)
+        raise SystemExit(
+            f"[drill] batch exited {result.returncode}, expected 0"
+        )
+    with open(report_path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def store_objects(store):
+    count = 0
+    objects = os.path.join(store, "objects")
+    for root, _dirs, files in os.walk(objects):
+        count += sum(1 for name in files if name.endswith(".json"))
+    return count
+
+
+def drill(scratch, jobs):
+    paths = build_corpus(scratch)
+    print(f"[drill] corpus: {len(paths)} designs, jobs={jobs}")
+
+    baseline_store = os.path.join(scratch, "store-baseline")
+    baseline = run_batch(
+        paths, baseline_store, os.path.join(scratch, "baseline.json"),
+        jobs, _env(),
+    )
+    baseline_digest = baseline["aggregate"]["corpus_digest"]
+    committed = store_objects(baseline_store)
+    print(f"[drill] baseline: digest {baseline_digest[:16]}, "
+          f"{committed} store objects")
+    assert committed > 0, "baseline store unexpectedly empty"
+
+    drill_store = os.path.join(scratch, "store-enospc")
+    degraded = run_batch(
+        paths, drill_store, os.path.join(scratch, "drill.json"),
+        jobs, _env(faults="store.write:always", degraded_after=1),
+    )
+    agg = degraded["aggregate"]
+    print(f"[drill] ENOSPC run: digest {agg['corpus_digest'][:16]}, "
+          f"{store_objects(drill_store)} store objects, "
+          f"degraded={agg['degraded']}")
+
+    assert not agg["degraded"], (
+        "a failing cache must degrade silently-but-counted, "
+        "never quarantine rows"
+    )
+    assert agg["corpus_digest"] == baseline_digest, (
+        f"output changed under ENOSPC: {agg['corpus_digest']} "
+        f"!= {baseline_digest}"
+    )
+    assert store_objects(drill_store) == 0, (
+        "injected ENOSPC on every write, yet artifacts landed"
+    )
+    print("[drill] PASS: byte-identical report via store write-bypass")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scratch", default=None,
+        help="working directory (default: a fresh temp dir)",
+    )
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args()
+    if args.scratch:
+        os.makedirs(args.scratch, exist_ok=True)
+        drill(args.scratch, args.jobs)
+    else:
+        with tempfile.TemporaryDirectory(prefix="chaos-drill-") as scratch:
+            drill(scratch, args.jobs)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,7 +45,7 @@ def _env():
     return env
 
 
-def start_server(*args):
+def start_server(*args, max_retries=3):
     process = subprocess.Popen(
         [sys.executable, "-m", "repro.serve", "--port", "0", *args],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
@@ -54,8 +54,16 @@ def start_server(*args):
     banner = process.stdout.readline()
     match = BANNER.search(banner)
     assert match, f"no banner from repro serve: {banner!r}"
-    client = ServeClient(match.group(1), int(match.group(2)), timeout=300)
-    client.wait_ready(timeout=15)
+    client = ServeClient(
+        match.group(1), int(match.group(2)), timeout=300,
+        max_retries=max_retries,
+    )
+    ready = client.wait_ready(timeout=15)
+    if not ready:
+        print(f"[smoke] server never became ready: {ready.reason} "
+              f"({ready.detail})", file=sys.stderr)
+        process.send_signal(signal.SIGTERM)
+        raise AssertionError(f"wait_ready failed: {ready.reason}")
     return process, client
 
 
@@ -123,8 +131,11 @@ def check_load_shedding(scratch):
     design = os.path.join(scratch, "corpus", "b13.v")
     with open(design, encoding="utf-8") as handle:
         text = handle.read()
+    # max_retries=0: the burst must *observe* the 429s, not retry past
+    # them (the default client would absorb shedding into retries).
     process, client = start_server(
-        "--workers", "1", "--queue-size", "1", "--hold-s", "0.3"
+        "--workers", "1", "--queue-size", "1", "--hold-s", "0.3",
+        max_retries=0,
     )
     statuses, lock = [], threading.Lock()
 

@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from . import faults as _faults
 from . import metrics as _metrics
 from .api import AnalysisReport, Session
 from .core.pipeline import PipelineConfig
@@ -48,10 +49,27 @@ from .eval.runner import append_journal_entry, load_journal_entries
 from .schema import stamp
 from .store import file_digest
 
-__all__ = ["BatchReport", "analyze_corpus", "itc99_corpus", "main"]
+__all__ = [
+    "BatchReport",
+    "analyze_corpus",
+    "itc99_corpus",
+    "main",
+    "EXIT_DEGRADED",
+    "MAX_ROW_ATTEMPTS",
+]
 
 #: Journal path used by ``--resume`` when ``--journal`` is not given.
 DEFAULT_JOURNAL = "batch.journal.jsonl"
+
+#: Exit code of ``repro batch`` when the run completed but had to
+#: quarantine rows (the aggregate carries ``degraded: true``).  Distinct
+#: from 0 (clean) and 2 (usage error) so scripted callers can tell
+#: "partial but trustworthy" from both.
+EXIT_DEGRADED = 5
+
+#: A row is tried this many times before it is quarantined: the first
+#: failure is retried once on a rebuilt pool, the second is final.
+MAX_ROW_ATTEMPTS = 2
 
 
 @dataclass
@@ -167,11 +185,50 @@ def _corpus_task(
     score: bool,
 ) -> Dict:
     """Analyze one corpus file (runs inline or in a worker process)."""
+    if _faults.fire("batch.worker.crash", path):
+        os._exit(3)  # a real worker crash: no cleanup, no goodbye
+    hang = _faults.rule_for("batch.worker.hang")
+    if hang is not None and _faults.fire("batch.worker.hang", path):
+        time.sleep(hang.delay)
     started = time.perf_counter()
     session = Session(config=config, store=store_root)
     report = session.analyze(path)
     scored = _score_report(session, report) if score else None
     return _row_from_report(report, scored, time.perf_counter() - started)
+
+
+def _quarantine_row(path: str, reason: str, detail: str, attempts: int) -> Dict:
+    """The journal/report row of a design that failed its last retry."""
+    name = os.path.basename(path)
+    for suffix in (".v", ".bench"):
+        if name.endswith(suffix):
+            name = name[: -len(suffix)]
+    try:
+        digest = file_digest(path)
+    except OSError:
+        digest = None
+    return stamp({
+        "path": path,
+        "design": name,
+        "digest": digest,
+        "quarantined": True,
+        "reason": {
+            "type": reason,
+            "detail": detail,
+            "attempts": attempts,
+        },
+    })
+
+
+def _publish_quarantine(row: Dict) -> None:
+    registry = _metrics.current()
+    if registry is None:
+        return
+    registry.counter(
+        "repro_batch_quarantined_total",
+        "Corpus rows quarantined after repeated failures, by reason",
+        labelnames=("reason",),
+    ).inc(reason=str(row["reason"]["type"]))
 
 
 def _publish_row(row: Dict) -> None:
@@ -207,6 +264,8 @@ def _publish_row(row: Dict) -> None:
 
 
 def _aggregate(rows: Sequence[Dict], wall_seconds: float) -> Dict:
+    quarantined = [row for row in rows if row.get("quarantined")]
+    rows = [row for row in rows if not row.get("quarantined")]
     hits = sum(1 for row in rows if row["cache"] == "hit")
     misses = sum(1 for row in rows if row["cache"] == "miss")
     # Cone-tier traffic summed across rows; .get() tolerates journal rows
@@ -228,6 +287,11 @@ def _aggregate(rows: Sequence[Dict], wall_seconds: float) -> Dict:
         "cache_hits": hits,
         "cache_misses": misses,
         "hit_rate": hits / len(rows) if rows else 0.0,
+        "degraded": bool(quarantined),
+        "quarantined": len(quarantined),
+        "quarantine_reasons": sorted(
+            {str(row["reason"]["type"]) for row in quarantined}
+        ),
         "cone_tier_hits": cone_hits,
         "cone_tier_misses": cone_misses,
         "cone_tier_hit_rate": (
@@ -242,6 +306,104 @@ def _aggregate(rows: Sequence[Dict], wall_seconds: float) -> Dict:
     }
 
 
+def _kill_pool_workers(pool) -> None:
+    """SIGKILL every live worker of a wedged pool (the hang watchdog).
+
+    Reaches into ``ProcessPoolExecutor._processes`` — there is no public
+    API for "a worker stopped making progress" — and turns the hang into
+    the crash path: the killed workers surface as ``BrokenProcessPool``
+    on the in-flight futures, which the retry/quarantine loop already
+    handles.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:
+            pass
+
+
+def _pool_round(
+    pending: Sequence[Tuple[int, str]],
+    config: PipelineConfig,
+    store: Optional[str],
+    score: bool,
+    jobs: int,
+    row_timeout: Optional[float],
+    on_done,
+) -> List[Tuple[int, str, str, str]]:
+    """Run one process pool over ``pending``; returns the failures.
+
+    ``on_done(index, row)`` fires for each completed row as it arrives.
+    Failures come back as ``(index, path, reason, detail)`` — a worker
+    crash (``BrokenProcessPool``) fails every row that was in flight in
+    that pool, and a ``row_timeout`` with no progress gets the pool's
+    workers killed, converting a hang into the same failure shape.
+    """
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    failures: List[Tuple[int, str, str, str]] = []
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+    try:
+        futures = {
+            pool.submit(_corpus_task, path, config, store, score):
+            (index, path)
+            for index, path in pending
+        }
+        remaining = set(futures)
+        hung = False
+        while remaining:
+            done, not_done = wait(
+                remaining, timeout=row_timeout,
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                # No row finished within row_timeout: the pool is
+                # wedged.  Kill its workers; the in-flight futures
+                # complete exceptionally almost immediately.
+                hung = True
+                _kill_pool_workers(pool)
+                done, not_done = wait(remaining, timeout=60)
+                if not done:  # workers unkillable — give up this round
+                    for future in not_done:
+                        future.cancel()
+                    done = {f for f in remaining if f.done()}
+            for future in done:
+                remaining.discard(future)
+                index, path = futures[future]
+                if future.cancelled():  # unkillable-worker fallback
+                    failures.append((
+                        index, path, "worker_hang",
+                        "cancelled by the progress watchdog",
+                    ))
+                    continue
+                try:
+                    row = future.result()
+                except BrokenProcessPool as exc:
+                    reason = "worker_hang" if hung else "worker_crash"
+                    failures.append((index, path, reason, str(exc) or reason))
+                except Exception as exc:
+                    failures.append((
+                        index, path, "row_error",
+                        f"{type(exc).__name__}: {exc}",
+                    ))
+                else:
+                    on_done(index, row)
+            remaining -= {f for f in remaining if f.cancelled()}
+    finally:
+        # Grab the manager thread before shutdown() drops its reference,
+        # then give it a bounded join: if it is still mid-teardown at
+        # interpreter exit, the atexit hook races its wakeup-pipe close
+        # and spews "Exception ignored ... Bad file descriptor" after an
+        # otherwise clean run.  Unkillable workers bound the wait.
+        manager = getattr(pool, "_executor_manager_thread", None)
+        pool.shutdown(wait=False, cancel_futures=True)
+        if manager is not None:
+            manager.join(timeout=5)
+    return failures
+
+
 def analyze_corpus(
     paths: Sequence[str],
     config: Optional[PipelineConfig] = None,
@@ -251,6 +413,7 @@ def analyze_corpus(
     resume: bool = False,
     score: bool = False,
     on_row=None,
+    row_timeout: Optional[float] = None,
 ) -> BatchReport:
     """Analyze every path; returns rows in input order plus the aggregate.
 
@@ -258,8 +421,19 @@ def analyze_corpus(
     its own handle on it); ``None`` disables caching.  ``journal`` /
     ``resume`` checkpoint per-design rows exactly like the Table 1 sweep;
     a journaled row is reused only while its content digest still matches
-    the file on disk.  ``on_row`` is called with each freshly completed
-    row (not for journal-restored ones).
+    the file on disk (quarantined journal rows are always retried).
+    ``on_row`` is called with each freshly completed row (not for
+    journal-restored ones).
+
+    Fault tolerance (DESIGN.md §13): with ``jobs > 1`` a worker-process
+    crash (``BrokenProcessPool``) does not kill the run — the pool is
+    rebuilt and the rows that were in flight are retried once; a row
+    that fails :data:`MAX_ROW_ATTEMPTS` times is *quarantined*: its slot
+    carries a ``{"quarantined": true, "reason": {...}}`` row, the
+    aggregate reports ``degraded: true``, and every other row is still
+    byte-identical to a fault-free run.  ``row_timeout`` arms a progress
+    watchdog: when no row completes for that many seconds the pool's
+    workers are killed and the hang is handled like a crash.
     """
     config = config or PipelineConfig()
     paths = [os.fspath(path) for path in paths]
@@ -276,40 +450,69 @@ def analyze_corpus(
     pending: List[Tuple[int, str]] = []
     for index, path in enumerate(paths):
         entry = completed.get(path)
-        if entry is not None and entry.get("digest") == file_digest(path):
+        if (
+            entry is not None
+            and not entry.get("quarantined")
+            and entry.get("digest") == file_digest(path)
+        ):
             entry = dict(entry)
             entry["cache"] = "journal"
             rows[index] = entry
         else:
             pending.append((index, path))
 
-    if jobs > 1 and len(pending) > 1:
-        from concurrent.futures import ProcessPoolExecutor, as_completed
+    def record(index: int, row: Dict) -> None:
+        rows[index] = row
+        if row.get("quarantined"):
+            _publish_quarantine(row)
+        else:
+            _publish_row(row)
+        if journal is not None:
+            append_journal_entry(journal, row)
+        if on_row is not None:
+            on_row(row)
 
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(pending))
-        ) as pool:
-            futures = {
-                pool.submit(_corpus_task, path, config, store, score): index
-                for index, path in pending
-            }
-            for future in as_completed(futures):
-                row = future.result()
-                rows[futures[future]] = row
-                _publish_row(row)
-                if journal is not None:
-                    append_journal_entry(journal, row)
-                if on_row is not None:
-                    on_row(row)
+    attempts: Dict[int, int] = {}
+    if jobs > 1 and len(pending) > 1:
+        while pending:
+            failures = _pool_round(
+                pending, config, store, score, jobs, row_timeout, record
+            )
+            retry: List[Tuple[int, str]] = []
+            for index, path, reason, detail in failures:
+                attempts[index] = attempts.get(index, 0) + 1
+                if attempts[index] >= MAX_ROW_ATTEMPTS:
+                    record(
+                        index,
+                        _quarantine_row(path, reason, detail, attempts[index]),
+                    )
+                else:
+                    retry.append((index, path))
+            if retry:
+                registry = _metrics.current()
+                if registry is not None:
+                    registry.counter(
+                        "repro_batch_pool_rebuilds_total",
+                        "Process pools rebuilt after a worker crash/hang",
+                    ).inc()
+            pending = retry
     else:
         for index, path in pending:
-            row = _corpus_task(path, config, store, score)
-            rows[index] = row
-            _publish_row(row)
-            if journal is not None:
-                append_journal_entry(journal, row)
-            if on_row is not None:
-                on_row(row)
+            try:
+                row = _corpus_task(path, config, store, score)
+            except Exception as exc:
+                # Serial retry once, then quarantine — the inline
+                # analogue of the pool's rebuild-and-retry.
+                try:
+                    row = _corpus_task(path, config, store, score)
+                except Exception:
+                    attempts[index] = MAX_ROW_ATTEMPTS
+                    record(index, _quarantine_row(
+                        path, "row_error",
+                        f"{type(exc).__name__}: {exc}", MAX_ROW_ATTEMPTS,
+                    ))
+                    continue
+            record(index, row)
 
     final = [row for row in rows if row is not None]
     return BatchReport(
@@ -359,6 +562,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes to shard the corpus across (default 1)",
+    )
+    parser.add_argument(
+        "--row-timeout",
+        type=float,
+        metavar="S",
+        default=None,
+        help="progress watchdog: with --jobs > 1, kill the worker pool "
+        "when no row completes for S seconds and retry the in-flight "
+        "rows (a row failing twice is quarantined)",
     )
     parser.add_argument(
         "--depth", type=int, default=4, help="fanin-cone depth (default 4)"
@@ -452,7 +664,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ArtifactStore(args.store, max_bytes=args.max_store_bytes)
 
     def announce(row: Dict) -> None:
-        if not args.quiet:
+        if args.quiet:
+            return
+        if row.get("quarantined"):
+            reason = row["reason"]
+            print(
+                f"{row['design']}: QUARANTINED after "
+                f"{reason['attempts']} attempts ({reason['type']}: "
+                f"{reason['detail']})",
+                file=sys.stderr,
+            )
+        else:
             print(
                 f"{row['design']}: {row['num_words']} words, "
                 f"{row['cache']}, {row['wall_seconds']:.2f}s"
@@ -467,6 +689,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         resume=args.resume,
         score=args.score,
         on_row=announce,
+        row_timeout=args.row_timeout,
     )
     agg = report.aggregate
     print(
@@ -477,6 +700,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"wall {agg['wall_seconds']:.2f}s"
     )
     print(f"corpus digest {agg['corpus_digest'][:16]}")
+    if agg["degraded"]:
+        print(
+            f"DEGRADED: {agg['quarantined']} row(s) quarantined "
+            f"({', '.join(agg['quarantine_reasons'])}); "
+            f"exit code {EXIT_DEGRADED}",
+            file=sys.stderr,
+        )
     if args.report is not None:
         import json
 
@@ -497,7 +727,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             with open(args.metrics_json, "w", encoding="utf-8") as handle:
                 handle.write(payload + "\n")
-    return 0
+    return EXIT_DEGRADED if report.aggregate["degraded"] else 0
 
 
 if __name__ == "__main__":

@@ -162,9 +162,20 @@ def load_journal_entries(path: str, key: str = "benchmark") -> Dict[str, dict]:
 
 
 def append_journal_entry(path: str, entry: dict) -> None:
-    """Append one completed entry and force it to disk (crash-safe)."""
-    with open(path, "a") as handle:
-        handle.write(json.dumps(entry) + "\n")
+    """Append one completed entry and force it to disk (crash-safe).
+
+    A run killed mid-append leaves a torn final line with no newline;
+    writing straight after it would fuse the next (valid) entry onto
+    the damaged one and silently lose *both*.  Appends therefore start
+    on a fresh line whenever the file does not already end in one.
+    """
+    with open(path, "a+b") as handle:
+        handle.seek(0, os.SEEK_END)
+        if handle.tell() > 0:
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) != b"\n":
+                handle.write(b"\n")
+        handle.write((json.dumps(entry) + "\n").encode("utf-8"))
         handle.flush()
         os.fsync(handle.fileno())
 

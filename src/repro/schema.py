@@ -35,7 +35,11 @@ __all__ = ["SCHEMA_VERSION", "PIPELINE_VERSION", "stamp"]
 #: v4: cone-cache tier counters in trace ``cache`` and batch rows, the
 #: ``cone`` store-envelope kind, and the incremental-report payload
 #: (library ``as_dict`` and the serve ``base_digest`` response).
-SCHEMA_VERSION = 4
+#: v5: failure-model fields (DESIGN.md §13) — quarantined batch rows and
+#: the ``degraded``/``quarantined``/``quarantine_reasons`` aggregate
+#: fields, ``read_timeout_seconds`` on ``/healthz``, and ``store_mode``
+#: on ``/readyz``.
+SCHEMA_VERSION = 5
 
 
 def stamp(payload: Dict) -> Dict:

@@ -25,13 +25,14 @@ on SIGTERM.  Layers:
 * :mod:`repro.serve.client` — a minimal blocking client.
 """
 
-from .client import ServeClient, ServeError
+from .client import ReadyStatus, ServeClient, ServeError
 from .server import AnalysisServer, main
 from .service import AnalysisService, Response
 
 __all__ = [
     "AnalysisServer",
     "AnalysisService",
+    "ReadyStatus",
     "Response",
     "ServeClient",
     "ServeError",

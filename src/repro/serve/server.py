@@ -27,6 +27,7 @@ import signal
 import sys
 from typing import Optional, Sequence, Tuple
 
+from .. import faults as _faults
 from .. import metrics as _metrics
 from ..api import Session
 from ..core.pipeline import PipelineConfig
@@ -34,9 +35,10 @@ from .service import MAX_BODY_BYTES, AnalysisService, Response
 
 __all__ = ["AnalysisServer", "main"]
 
-#: Seconds a connection may take to deliver its request before we hang up
-#: (slowloris guard; also bounds how long a dead connection can stall a
-#: drain).
+#: Default seconds a connection may take to deliver its request before we
+#: hang up (slowloris guard; also bounds how long a dead connection can
+#: stall a drain).  Configurable per instance via ``repro serve
+#: --read-timeout``; the active value is reported on ``/healthz``.
 REQUEST_READ_TIMEOUT = 30.0
 
 _REASONS = {
@@ -60,6 +62,8 @@ class AnalysisServer:
         self.service = service
         self.host = host
         self.port = port
+        # The service owns the configured value so /healthz can report it.
+        self.read_timeout = service.read_timeout
         self._server: Optional[asyncio.base_events.Server] = None
         self._drain_requested = asyncio.Event()
         self._force_exit = False
@@ -106,7 +110,7 @@ class AnalysisServer:
         try:
             try:
                 method, path, body = await asyncio.wait_for(
-                    _read_request(reader), REQUEST_READ_TIMEOUT
+                    _read_request(reader), self.read_timeout
                 )
             except _BadRequest as exc:
                 await _write_response(
@@ -117,6 +121,22 @@ class AnalysisServer:
                     ConnectionError):
                 return  # client vanished or stalled; nothing to answer
             response = await self.service.handle(method, path, body)
+            if _faults.fire("serve.response.delay", path):
+                rule = _faults.rule_for("serve.response.delay")
+                await asyncio.sleep(rule.delay if rule else 1.0)
+            if _faults.fire("serve.response.reset", path):
+                # Ship a head promising more bytes than we send, then
+                # abort: the client sees a torn response (IncompleteRead
+                # or ECONNRESET), exactly like a mid-flight crash.
+                writer.write(
+                    b"HTTP/1.1 200 OK\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: 1048576\r\n"
+                    b"Connection: close\r\n\r\n{\"torn\":"
+                )
+                await writer.drain()
+                writer.transport.abort()
+                return
             await _write_response(writer, response)
         except (ConnectionError, asyncio.CancelledError):
             pass
@@ -232,6 +252,13 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of returning partial (degraded) reports",
     )
     parser.add_argument(
+        "--read-timeout", type=float, metavar="S",
+        default=REQUEST_READ_TIMEOUT,
+        help="seconds a connection may take to deliver its request "
+        "before the server hangs up (slowloris guard; reported on "
+        "/healthz, default %(default)s)",
+    )
+    parser.add_argument(
         "--journal", metavar="PATH", default=None,
         help="append every /v1/batch row to this JSONL journal "
         "(fsynced per row, same shape as repro batch --journal)",
@@ -307,6 +334,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             journal=args.journal,
             registry=registry,
             hold_s=args.hold_s,
+            read_timeout=args.read_timeout,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -86,6 +86,10 @@ class AnalysisService:
     ``hold_s``
         Artificial per-request delay inside the worker, used by drain
         and load-shedding tests to hold a slot open deterministically.
+    ``read_timeout``
+        The socket layer's request-read timeout in seconds (``repro
+        serve --read-timeout``).  The service only *reports* it (on
+        ``/healthz``); enforcement lives in the transport.
     """
 
     def __init__(
@@ -98,12 +102,16 @@ class AnalysisService:
         journal: Optional[str] = None,
         registry: Optional[_metrics.MetricsRegistry] = None,
         hold_s: float = 0.0,
+        read_timeout: float = 30.0,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_size < 0:
             raise ValueError("queue_size must be >= 0")
+        if read_timeout <= 0:
+            raise ValueError("read_timeout must be > 0")
         self.session = session
+        self.read_timeout = read_timeout
         self.workers = workers
         self.queue_size = queue_size
         self.default_deadline_s = default_deadline_s
@@ -165,6 +173,15 @@ class AnalysisService:
     def drained(self) -> bool:
         return self._draining and self._admitted == 0
 
+    def _store_mode(self) -> str:
+        """The artifact store's health for ``/readyz``: ``"ok"``,
+        ``"degraded"`` (write-bypass after an I/O-error burst, DESIGN.md
+        §13), or ``"off"`` when the instance runs without a store."""
+        store = self.session.store
+        if store is None:
+            return "off"
+        return store.mode
+
     def close(self) -> None:
         """Shut the worker pool down (after the last request finished)."""
         self._pool.shutdown(wait=True)
@@ -203,13 +220,20 @@ class AnalysisService:
                 "status": "ok",
                 "uptime_seconds": time.monotonic() - self._started_at,
                 "in_flight": self._admitted,
+                "read_timeout_seconds": self.read_timeout,
             }))
         if path == "/readyz":
             if method != "GET":
                 return _error(405, "method_not_allowed", "use GET")
             if self.ready:
-                return _json_response(200, stamp({"status": "ready"}))
-            return _json_response(503, stamp({"status": "draining"}))
+                return _json_response(200, stamp({
+                    "status": "ready",
+                    "store_mode": self._store_mode(),
+                }))
+            return _json_response(503, stamp({
+                "status": "draining",
+                "store_mode": self._store_mode(),
+            }))
         if path == "/metrics":
             if method != "GET":
                 return _error(405, "method_not_allowed", "use GET")

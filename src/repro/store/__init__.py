@@ -21,7 +21,7 @@ orchestrator.
 """
 
 from .cones import StoreConeTier
-from .disk import ArtifactStore, StoreStats
+from .disk import DEFAULT_DEGRADED_AFTER, ArtifactStore, StoreStats
 from .keys import (
     CONE_FINGERPRINT_FIELDS,
     CONE_NEUTRAL_FIELDS,
@@ -46,6 +46,7 @@ from .serialize import (
 __all__ = [
     "ArtifactStore",
     "StoreStats",
+    "DEFAULT_DEGRADED_AFTER",
     "StoreConeTier",
     "CONE_FINGERPRINT_FIELDS",
     "CONE_NEUTRAL_FIELDS",

@@ -26,6 +26,7 @@ Concurrency model — no locks anywhere:
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import tempfile
@@ -33,6 +34,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from .. import faults as _faults
 from .. import metrics as _metrics
 from ..core.pipeline import PIPELINE_VERSION, PipelineConfig
 from ..core.words import IdentificationResult
@@ -42,7 +44,24 @@ from ..schema import SCHEMA_VERSION, stamp
 from .keys import cache_key, config_fingerprint, netlist_digest
 from .serialize import UnserializableResult, result_from_dict, result_to_dict
 
-__all__ = ["ArtifactStore", "StoreStats"]
+__all__ = ["ArtifactStore", "StoreStats", "DEFAULT_DEGRADED_AFTER"]
+
+#: Swallowed-``OSError`` count at which a store flips to degraded
+#: (write-bypass) mode.  Override per instance with ``degraded_after``
+#: or process-wide with the ``REPRO_STORE_DEGRADED_AFTER`` environment
+#: variable (which is how batch worker processes, whose stores are
+#: opened from a bare root path, pick the threshold up).
+DEFAULT_DEGRADED_AFTER = 16
+
+#: ``StoreStats`` counter names for suppressed I/O errors, by operation.
+IO_ERROR_COUNTERS = (
+    "read_errors",
+    "write_errors",
+    "touch_errors",
+    "heal_errors",
+    "evict_errors",
+    "scan_errors",
+)
 
 
 @dataclass
@@ -62,6 +81,13 @@ class StoreStats:
     puts: int = 0
     evictions: int = 0
     healed: int = 0
+    bypassed_puts: int = 0
+    read_errors: int = 0
+    write_errors: int = 0
+    touch_errors: int = 0
+    heal_errors: int = 0
+    evict_errors: int = 0
+    scan_errors: int = 0
 
     def __post_init__(self):
         self._lock = threading.Lock()
@@ -77,20 +103,52 @@ class StoreStats:
                 f"Artifact-store {name} across all requests",
             ).inc(amount)
 
+    def bump_io_error(self, op: str) -> None:
+        """Count one suppressed ``OSError`` under its operation name.
+
+        ``op`` is one of read/write/touch/heal/evict/scan; the matching
+        ``<op>_errors`` field is bumped and the error is published as
+        ``repro_store_io_error_total{op=...}``, so a fault burst shows
+        up on ``/metrics`` even though no individual call ever raised.
+        """
+        name = op + "_errors"
+        if name not in IO_ERROR_COUNTERS:
+            raise ValueError(f"unknown I/O error op {op!r}")
+        with self._lock:
+            setattr(self, name, getattr(self, name) + 1)
+        registry = _metrics.current()
+        if registry is not None:
+            registry.counter(
+                "repro_store_io_error_total",
+                "OSErrors swallowed by the artifact store, by operation",
+                labelnames=("op",),
+            ).inc(op=op)
+
+    @property
+    def io_errors(self) -> int:
+        """Total suppressed I/O errors across every operation."""
+        with self._lock:
+            return sum(getattr(self, name) for name in IO_ERROR_COUNTERS)
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def as_dict(self) -> Dict[str, float]:
-        return {
+        payload = {
             "hits": self.hits,
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
             "healed": self.healed,
+            "bypassed_puts": self.bypassed_puts,
             "hit_rate": self.hit_rate,
+            "io_errors": self.io_errors,
         }
+        for name in IO_ERROR_COUNTERS:
+            payload[name] = getattr(self, name)
+        return payload
 
 
 def _netlist_summary(netlist: Netlist) -> Dict[str, object]:
@@ -108,11 +166,39 @@ class ArtifactStore:
     ``max_bytes`` caps the total size of ``objects/``; ``None`` (default)
     means unbounded.  One store may be shared by any number of threads
     and processes simultaneously.
+
+    ``degraded_after`` is the disk-health circuit breaker: once that
+    many *real* I/O errors (``FileNotFoundError`` races with concurrent
+    eviction do not count) have been swallowed, the store flips to a
+    degraded write-bypass mode — reads are still attempted (they
+    self-heal to misses), but nothing is written to a disk that is
+    evidently failing, so analyses keep producing byte-identical
+    results at cache-off speed instead of dying on ``ENOSPC``.  The
+    flip is one-way for the life of the instance and is reported by
+    :attr:`mode`, ``stats``, the ``repro_store_degraded`` gauge, and
+    ``repro serve``'s ``/readyz``.  ``None`` picks the
+    ``REPRO_STORE_DEGRADED_AFTER`` environment variable or
+    :data:`DEFAULT_DEGRADED_AFTER`; ``0`` disables the breaker.
     """
 
-    def __init__(self, root: str, max_bytes: Optional[int] = None):
+    def __init__(
+        self,
+        root: str,
+        max_bytes: Optional[int] = None,
+        degraded_after: Optional[int] = None,
+    ):
         self.root = os.fspath(root)
         self.max_bytes = max_bytes
+        if degraded_after is None:
+            degraded_after = int(
+                os.environ.get(
+                    "REPRO_STORE_DEGRADED_AFTER", DEFAULT_DEGRADED_AFTER
+                )
+            )
+        self.degraded_after = degraded_after
+        self._degraded = False
+        self._degraded_reason: Optional[str] = None
+        self._disk_errors = 0
         self.stats = StoreStats()
         self._objects = os.path.join(self.root, "objects")
         self._tmp = os.path.join(self.root, "tmp")
@@ -129,6 +215,56 @@ class ArtifactStore:
             self._approx_bytes = self.total_bytes()
 
     # ------------------------------------------------------------------
+    # degraded mode (the disk-health circuit breaker)
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
+
+    @property
+    def mode(self) -> str:
+        """``"ok"`` or ``"degraded"`` (write-bypass), for health probes."""
+        return "degraded" if self._degraded else "ok"
+
+    @property
+    def degraded_reason(self) -> Optional[str]:
+        """Machine-readable reason the breaker tripped, or ``None``."""
+        return self._degraded_reason
+
+    def _record_io_error(self, op: str, exc: OSError) -> None:
+        """Count one suppressed ``OSError``; maybe trip the breaker.
+
+        ``FileNotFoundError`` is counted (it was still suppressed) but
+        never advances the breaker — losing a race with a concurrent
+        eviction or heal is the lockless design working, not the disk
+        failing.
+        """
+        self.stats.bump_io_error(op)
+        if isinstance(exc, FileNotFoundError):
+            return
+        with self._size_lock:
+            self._disk_errors += 1
+            tripped = (
+                not self._degraded
+                and self.degraded_after > 0
+                and self._disk_errors >= self.degraded_after
+            )
+            if tripped:
+                self._degraded = True
+                self._degraded_reason = (
+                    f"io_error_burst: {self._disk_errors} I/O errors "
+                    f"(threshold {self.degraded_after}), last: "
+                    f"{op}: {exc}"
+                )
+        if tripped:
+            registry = _metrics.current()
+            if registry is not None:
+                registry.gauge(
+                    "repro_store_degraded",
+                    "1 when the store has flipped to write-bypass mode",
+                ).set(1)
+
+    # ------------------------------------------------------------------
     # generic object layer
     # ------------------------------------------------------------------
     def _path(self, key: str) -> str:
@@ -138,15 +274,22 @@ class ArtifactStore:
         """The validated envelope under ``key`` — no stats, no LRU touch.
 
         Corrupt, truncated, foreign, or version-mismatched entries are
-        self-healed: unlinked (best-effort) and reported as a miss.
+        self-healed: unlinked (best-effort) and reported as a miss; an
+        I/O error while reading is additionally counted as one.
         """
         path = self._path(key)
         try:
+            if _faults.fire("store.read", key):
+                raise OSError(errno.EIO, "injected I/O error", path)
             with open(path, encoding="utf-8") as handle:
                 envelope = json.load(handle)
         except FileNotFoundError:
             return None
-        except (OSError, ValueError):
+        except OSError as exc:
+            self._record_io_error("read", exc)
+            self._heal(path)
+            return None
+        except ValueError:
             self._heal(path)
             return None
         if (
@@ -162,8 +305,8 @@ class ArtifactStore:
     def _touch(self, key: str) -> None:
         try:  # LRU bump; losing the race to an eviction is harmless
             os.utime(self._path(key))
-        except OSError:
-            pass
+        except OSError as exc:
+            self._record_io_error("touch", exc)
 
     def get(self, key: str) -> Optional[Dict]:
         """The validated envelope stored under ``key``, or ``None``."""
@@ -204,12 +347,19 @@ class ArtifactStore:
         payload = json.dumps(envelope, sort_keys=True) + "\n"
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
+        if _faults.fire("store.write", key):
+            raise OSError(errno.ENOSPC, "injected: no space left", path)
         fd, staging = tempfile.mkstemp(
             prefix=key[:8] + ".", suffix=".tmp", dir=self._tmp
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(payload)
+            if _faults.fire("store.truncate", key):
+                # A crashing writer: publish a torn entry the next
+                # reader must detect and self-heal.
+                with open(staging, "r+b") as torn:
+                    torn.truncate(max(1, len(payload) // 2))
             os.replace(staging, path)
         except BaseException:
             try:
@@ -240,9 +390,24 @@ class ArtifactStore:
                 or self._puts_since_rescan >= 64
             )
 
+    def _try_write(self, key: str, kind: str, fields: Dict) -> bool:
+        """One guarded write: a cache write failing must never fail the
+        caller's analysis — the error is counted (possibly tripping the
+        breaker) and the entry is simply not cached."""
+        if self._degraded:
+            self.stats.bump("bypassed_puts")
+            return False
+        try:
+            self._write(key, kind, fields)
+        except OSError as exc:
+            self._record_io_error("write", exc)
+            return False
+        return True
+
     def put(self, key: str, kind: str, fields: Dict) -> None:
-        """Atomically publish an artifact, then enforce the size cap."""
-        self._write(key, kind, fields)
+        """Publish an artifact (atomic, best-effort), enforce the cap."""
+        if not self._try_write(key, kind, fields):
+            return
         if self.max_bytes is not None and self._over_cap_or_stale():
             self._evict(keep=(key,))
 
@@ -257,8 +422,8 @@ class ArtifactStore:
         """
         written = []
         for key, kind, fields in items:
-            self._write(key, kind, fields)
-            written.append(key)
+            if self._try_write(key, kind, fields):
+                written.append(key)
         if (
             written
             and self.max_bytes is not None
@@ -270,14 +435,17 @@ class ArtifactStore:
         try:
             os.unlink(path)
             self.stats.bump("healed")
-        except OSError:
-            pass
+        except FileNotFoundError:
+            pass  # a concurrent reader healed it first — already done
+        except OSError as exc:
+            self._record_io_error("heal", exc)
 
     def _entries(self) -> Iterator[Tuple[str, int, int]]:
         """``(path, size, mtime_ns)`` for every object currently on disk."""
         try:
             shards = os.scandir(self._objects)
-        except OSError:
+        except OSError as exc:
+            self._record_io_error("scan", exc)
             return
         with shards:
             for shard in shards:
@@ -285,7 +453,10 @@ class ArtifactStore:
                     continue
                 try:
                     files = os.scandir(shard.path)
-                except OSError:
+                except FileNotFoundError:
+                    continue  # shard emptied and removed concurrently
+                except OSError as exc:
+                    self._record_io_error("scan", exc)
                     continue
                 with files:
                     for entry in files:
@@ -314,8 +485,10 @@ class ArtifactStore:
                 try:
                     os.unlink(path)
                     self.stats.bump("evictions")
-                except OSError:
+                except FileNotFoundError:
                     pass  # already gone — still freed
+                except OSError as exc:
+                    self._record_io_error("evict", exc)
                 total -= size
         with self._size_lock:
             self._approx_bytes = total
@@ -338,8 +511,10 @@ class ArtifactStore:
         for path, _, _ in self._entries():
             try:
                 os.unlink(path)
-            except OSError:
+            except FileNotFoundError:
                 pass
+            except OSError as exc:
+                self._record_io_error("evict", exc)
 
     # ------------------------------------------------------------------
     # identification results

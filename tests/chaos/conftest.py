@@ -1,0 +1,43 @@
+"""Shared fixtures for the chaos suite (DESIGN.md §13).
+
+Every test here installs a :class:`repro.faults.FaultPlan` and asserts
+the stack either recovers byte-identically or degrades with a
+machine-readable reason.  The autouse fixture guarantees no plan (or
+metrics registry) leaks between tests — a leaked ``always`` rule would
+poison every later store/batch test in the run.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro import faults
+from repro import metrics
+from repro.netlist import write_verilog
+from repro.synth.designs import BENCHMARKS
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from fixtures import figure1_netlist  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def clean_globals():
+    faults.uninstall()
+    metrics.uninstall()
+    yield
+    faults.uninstall()
+    metrics.uninstall()
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """Three small designs (one duplicated), same shape as test_batch."""
+    root = tmp_path_factory.mktemp("chaos-corpus")
+    b03 = root / "b03.v"
+    b03.write_text(write_verilog(BENCHMARKS["b03"]()))
+    fig1 = root / "fig1.v"
+    fig1.write_text(write_verilog(figure1_netlist()[0]))
+    dup = root / "fig1_copy.v"
+    dup.write_text(fig1.read_text())
+    return [str(b03), str(fig1), str(dup)]

@@ -1,0 +1,176 @@
+"""The fault-injection registry itself (repro.faults).
+
+Determinism is the whole point: a chaos run must be replayable, so
+every schedule is pinned as a pure function of (plan, call index, seed)
+and counters are shown to be global across plan instances that share a
+``state_dir`` — the property that makes "crash the first two worker
+calls" mean two crashes *total* across a process pool.
+"""
+
+import pytest
+
+from repro import faults, metrics
+from repro.faults import (
+    ENV_SEED,
+    ENV_SPEC,
+    ENV_STATE,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+)
+
+
+class TestSpecParsing:
+    def test_round_trip(self):
+        spec = (
+            "store.write:nth=3;"
+            "batch.worker.hang:always,match=b13,delay=2.5"
+        )
+        plan = FaultPlan.from_spec(spec, seed=7)
+        assert plan.to_spec() == spec
+        assert plan.seed == 7
+        again = FaultPlan.from_spec(plan.to_spec(), seed=7)
+        assert again.to_spec() == spec
+
+    def test_unknown_site_fails_loudly(self):
+        with pytest.raises(FaultError, match="unknown fault site"):
+            FaultPlan.from_spec("store.wrtie:always")
+
+    def test_unknown_trigger_fails_loudly(self):
+        with pytest.raises(FaultError, match="unknown trigger"):
+            FaultPlan.from_spec("store.read:sometimes")
+
+    def test_unknown_option_fails_loudly(self):
+        with pytest.raises(FaultError, match="unknown option"):
+            FaultPlan.from_spec("store.read:always,jitter=3")
+
+    def test_nth_needs_positive_integer(self):
+        with pytest.raises(FaultError):
+            FaultRule("store.read", "nth", 0)
+
+    def test_prob_needs_probability(self):
+        with pytest.raises(FaultError):
+            FaultRule("store.read", "prob", 1.5)
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(FaultError, match="empty"):
+            FaultPlan.from_spec("  ;  ")
+
+
+class TestSchedules:
+    def test_nth_fires_exactly_once(self):
+        plan = FaultPlan.from_spec("store.read:nth=3")
+        decisions = [plan.fire("store.read") for _ in range(6)]
+        assert decisions == [False, False, True, False, False, False]
+        assert plan.fired == {"store.read": 1}
+
+    def test_first_fires_then_goes_quiet(self):
+        plan = FaultPlan.from_spec("batch.worker.crash:first=2")
+        decisions = [plan.fire("batch.worker.crash") for _ in range(5)]
+        assert decisions == [True, True, False, False, False]
+
+    def test_every_fires_periodically(self):
+        plan = FaultPlan.from_spec("store.write:every=3")
+        decisions = [plan.fire("store.write") for _ in range(7)]
+        assert decisions == [False, False, True, False, False, True, False]
+
+    def test_match_restricts_and_does_not_advance_counters(self):
+        plan = FaultPlan.from_spec("store.read:nth=2,match=abc")
+        assert plan.fire("store.read", "zzz") is False  # no count
+        assert plan.fire("store.read", "abc-1") is False  # index 1
+        assert plan.fire("store.read", "x-abc") is True  # index 2
+        assert plan.fired == {"store.read": 1}
+
+    def test_unlisted_site_never_fires(self):
+        plan = FaultPlan.from_spec("store.read:always")
+        assert plan.fire("store.write", "anything") is False
+        assert plan.fired == {}
+
+    def test_prob_is_a_pure_function_of_seed_and_index(self):
+        first = FaultPlan.from_spec("serve.response.reset:prob=0.5", seed=42)
+        second = FaultPlan.from_spec("serve.response.reset:prob=0.5", seed=42)
+        a = [first.fire("serve.response.reset") for _ in range(200)]
+        b = [second.fire("serve.response.reset") for _ in range(200)]
+        assert a == b  # replayable
+        assert 0.3 < sum(a) / len(a) < 0.7  # actually probabilistic
+        other = FaultPlan.from_spec("serve.response.reset:prob=0.5", seed=43)
+        c = [other.fire("serve.response.reset") for _ in range(200)]
+        assert a != c  # the seed matters
+
+
+class TestCrossProcessState:
+    def test_state_dir_makes_counting_global(self, tmp_path):
+        """Two plan instances sharing a state_dir share one schedule —
+        the single-process analogue of a worker pool."""
+        state = str(tmp_path / "state")
+        spec = "batch.worker.crash:first=2"
+        worker_a = FaultPlan.from_spec(spec, state_dir=state)
+        worker_b = FaultPlan.from_spec(spec, state_dir=state)
+        assert worker_a.fire("batch.worker.crash") is True  # global #1
+        assert worker_b.fire("batch.worker.crash") is True  # global #2
+        assert worker_a.fire("batch.worker.crash") is False  # global #3
+        assert worker_b.fire("batch.worker.crash") is False  # global #4
+
+    def test_without_state_dir_counting_is_per_instance(self):
+        spec = "batch.worker.crash:first=1"
+        worker_a = FaultPlan.from_spec(spec)
+        worker_b = FaultPlan.from_spec(spec)
+        assert worker_a.fire("batch.worker.crash") is True
+        assert worker_b.fire("batch.worker.crash") is True  # restarts
+
+
+class TestInstallation:
+    def test_install_current_uninstall(self):
+        plan = FaultPlan.from_spec("store.read:always")
+        assert faults.current() is None
+        faults.install(plan)
+        assert faults.current() is plan
+        assert faults.fire("store.read", "k") is True
+        faults.uninstall()
+        assert faults.current() is None
+        assert faults.fire("store.read", "k") is False
+
+    def test_env_round_trip(self, monkeypatch, tmp_path):
+        """to_env() in the parent reinstalls the same plan in a child
+        (here: the same process after an uninstall)."""
+        state = str(tmp_path / "state")
+        plan = FaultPlan.from_spec(
+            "store.write:nth=2", seed=9, state_dir=state
+        )
+        for name, value in plan.to_env().items():
+            monkeypatch.setenv(name, value)
+        faults.uninstall()  # forget, then rediscover from the env
+        rediscovered = faults.current()
+        assert rediscovered is not None
+        assert rediscovered.to_spec() == plan.to_spec()
+        assert rediscovered.seed == 9
+        assert rediscovered.state_dir == state
+        # Both instances count against the same files.
+        assert plan.fire("store.write") is False  # global index 1
+        assert faults.fire("store.write") is True  # global index 2
+
+    def test_env_names_are_stable(self):
+        # Pinned: these are an external interface (CI, drills, operators).
+        assert (ENV_SPEC, ENV_SEED, ENV_STATE) == (
+            "REPRO_FAULTS", "REPRO_FAULTS_SEED", "REPRO_FAULTS_STATE"
+        )
+
+    def test_injections_are_counted_in_metrics(self):
+        registry = metrics.install()
+        plan = faults.install(FaultPlan.from_spec("store.read:always"))
+        plan.fire("store.read")
+        plan.fire("store.read")
+        counter = registry.counter(
+            "repro_fault_injected_total",
+            "Faults injected by the installed FaultPlan, by site",
+            labelnames=("site",),
+        )
+        assert counter.value(site="store.read") == 2.0
+
+    def test_as_dict_reports_what_fired(self):
+        plan = FaultPlan.from_spec("store.read:nth=1", seed=3)
+        plan.fire("store.read")
+        summary = plan.as_dict()
+        assert summary["spec"] == "store.read:nth=1"
+        assert summary["seed"] == 3
+        assert summary["fired"] == {"store.read": 1}

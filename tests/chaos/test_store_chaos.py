@@ -1,0 +1,122 @@
+"""Disk-store chaos: injected EIO/ENOSPC/torn writes (DESIGN.md §13).
+
+The invariant under every storage fault is the same: the *analysis* is
+never wrong and never dies — a failing cache degrades to a slower cache
+(or no cache), every swallowed error is counted by operation, and a
+burst of real errors flips the store into an explicit, reported
+write-bypass mode instead of hammering a failing disk.
+"""
+
+import pytest
+
+from repro import faults
+from repro.api import Session
+from repro.faults import FaultPlan
+from repro.store import ArtifactStore
+
+
+@pytest.fixture
+def fig1(corpus):
+    return corpus[1]
+
+
+def _clean_digest(path, tmp_path):
+    """The fault-free answer for ``path`` (its own throwaway store)."""
+    session = Session(store=str(tmp_path / "clean-store"))
+    return session.analyze(path).result_digest
+
+
+class TestReadFaults:
+    def test_eio_on_read_degrades_to_miss_not_wrong_answer(
+        self, fig1, tmp_path
+    ):
+        expected = _clean_digest(fig1, tmp_path)
+        store = ArtifactStore(str(tmp_path / "store"))
+        Session(store=store).analyze(fig1)  # warm the cache
+
+        faults.install(FaultPlan.from_spec("store.read:always"))
+        report = Session(store=store).analyze(fig1)
+        assert report.result_digest == expected  # byte-identical
+        assert report.cache == "miss"  # recomputed, not served corrupt
+        assert store.stats.read_errors > 0  # and the errors were counted
+
+    def test_torn_write_is_healed_by_the_next_reader(self, fig1, tmp_path):
+        expected = _clean_digest(fig1, tmp_path)
+        store = ArtifactStore(str(tmp_path / "store"))
+        faults.install(FaultPlan.from_spec("store.truncate:always"))
+        Session(store=store).analyze(fig1)  # every entry published torn
+        faults.uninstall()
+
+        reader = ArtifactStore(str(tmp_path / "store"))
+        report = Session(store=reader).analyze(fig1)
+        assert report.result_digest == expected
+        assert report.cache == "miss"  # torn entries are misses…
+        assert reader.stats.healed > 0  # …and are unlinked on sight
+
+
+class TestWriteFaults:
+    def test_enospc_never_fails_the_analysis(self, fig1, tmp_path):
+        expected = _clean_digest(fig1, tmp_path)
+        store = ArtifactStore(str(tmp_path / "store"))
+        faults.install(FaultPlan.from_spec("store.write:always"))
+        report = Session(store=store).analyze(fig1)
+        assert report.result_digest == expected
+        assert store.stats.write_errors > 0
+        assert len(store) == 0  # nothing landed, nothing torn
+
+
+class TestDegradedMode:
+    def test_error_burst_flips_to_write_bypass(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"), degraded_after=3)
+        faults.install(FaultPlan.from_spec("store.write:always"))
+        for n in range(3):
+            assert store.mode == "ok"
+            store.put(f"{n:064x}", "result", {"n": n})
+        assert store.degraded
+        assert store.mode == "degraded"
+        assert store.degraded_reason.startswith("io_error_burst:")
+        assert "threshold 3" in store.degraded_reason
+
+        # Past the flip: writes are bypassed (counted, not attempted),
+        # so the error count stops growing.
+        faults.uninstall()
+        errors_at_flip = store.stats.io_errors
+        store.put("f" * 64, "result", {"n": 99})
+        assert store.stats.bypassed_puts == 1
+        assert store.stats.io_errors == errors_at_flip
+        assert len(store) == 0
+
+    def test_degraded_store_still_answers_reads(self, fig1, tmp_path):
+        """Write-bypass is not read-off: entries that made it to disk
+        before the flip keep serving hits."""
+        root = str(tmp_path / "store")
+        store = ArtifactStore(root, degraded_after=1)
+        Session(store=store).analyze(fig1)  # committed while healthy
+        faults.install(FaultPlan.from_spec("store.write:always"))
+        store.put("a" * 64, "result", {})  # trips the breaker
+        faults.uninstall()
+        assert store.degraded
+        report = Session(store=store).analyze(fig1)
+        assert report.cache == "hit"
+
+    def test_not_found_races_never_trip_the_breaker(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"), degraded_after=1)
+        store._touch("0" * 64)  # utime on a key that was never written
+        assert store.stats.touch_errors == 1  # suppressed and counted…
+        assert not store.degraded  # …but lockless races are not disk rot
+
+    def test_zero_disables_the_breaker(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"), degraded_after=0)
+        faults.install(FaultPlan.from_spec("store.write:always"))
+        for n in range(50):
+            store.put(f"{n:064x}", "result", {})
+        assert not store.degraded
+        assert store.stats.write_errors == 50
+
+    def test_stats_expose_every_error_counter(self, tmp_path):
+        stats = ArtifactStore(str(tmp_path / "store")).stats.as_dict()
+        for name in (
+            "read_errors", "write_errors", "touch_errors", "heal_errors",
+            "evict_errors", "scan_errors", "io_errors", "bypassed_puts",
+        ):
+            assert name in stats

@@ -52,8 +52,14 @@ def _spawn(*extra_args):
     if match is None:
         process.kill()
         raise RuntimeError(f"unexpected banner: {banner!r}")
-    client = ServeClient(match.group(1), int(match.group(2)), timeout=30)
-    client.wait_ready(timeout=10)
+    # max_retries=0: these tests assert on raw statuses (429 bursts,
+    # 503 during drain); the client's transient-retry layer would mask
+    # exactly what they observe.
+    client = ServeClient(
+        match.group(1), int(match.group(2)), timeout=30, max_retries=0
+    )
+    ready = client.wait_ready(timeout=10)
+    assert ready, f"server not ready: {ready.reason} ({ready.detail})"
     return process, client
 
 
