@@ -12,9 +12,16 @@ guarantees DESIGN.md §11 makes:
    a held worker sheds a burst of 8 with 429s and answers zero 500s.
 3. **Graceful drain** — both servers exit 0 on SIGTERM.
 
+With ``--bench OUT.json`` it additionally runs a sustained load
+benchmark: concurrent clients posting unique (cache-missing) designs
+against ``--workers 1/2/4`` servers for a fixed window each, reporting
+p50/p90/p99 latency and req/s per sweep into a schema-stamped
+``BENCH_serve.json`` (shape: :mod:`repro.serve.bench`).
+
 Usage::
 
     PYTHONPATH=src python scripts/serve_smoke.py [--scratch DIR]
+        [--bench BENCH_serve.json] [--bench-duration S]
 """
 
 import argparse
@@ -32,6 +39,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "src"))
 
 from repro.batch import itc99_corpus  # noqa: E402
+from repro.serve.bench import build_report  # noqa: E402
 from repro.serve.client import ServeClient  # noqa: E402
 
 BANNER = re.compile(r"listening on http://([\d.]+):(\d+)")
@@ -52,6 +60,7 @@ def start_server(*args, max_retries=3):
         env=_env(),
     )
     banner = process.stdout.readline()
+    process._banner = banner  # replayed by process_banner() for the bench
     match = BANNER.search(banner)
     assert match, f"no banner from repro serve: {banner!r}"
     client = ServeClient(
@@ -161,22 +170,135 @@ def check_load_shedding(scratch):
           f"shedding server drained cleanly")
 
 
+def _bench_sweep(client, base_text, tag, duration_s, concurrency):
+    """Hammer one server with unique (cache-missing) designs.
+
+    Each request appends a never-repeated comment line, so its byte
+    digest — and therefore its store key — is fresh: every request pays
+    for a real analysis, which is what worker scaling acts on.
+    """
+    stop_at = time.monotonic() + duration_s
+    latencies, errors = [], []
+    lock = threading.Lock()
+
+    def worker(slot):
+        n = 0
+        while time.monotonic() < stop_at:
+            n += 1
+            text = f"{base_text}\n// bench {tag} client {slot} request {n}\n"
+            started = time.perf_counter()
+            status, _ = client.identify(verilog=text)
+            elapsed = time.perf_counter() - started
+            with lock:
+                if status == 200:
+                    latencies.append(elapsed)
+                elif status != 429:  # shedding is back-pressure, not failure
+                    errors.append(status)
+
+    started = time.monotonic()
+    threads = [
+        threading.Thread(target=worker, args=(slot,))
+        for slot in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return latencies, len(errors), time.monotonic() - started
+
+
+def check_sustained_load(scratch, output, duration_s, design="b13",
+                         workers_sweep=(1, 2, 4), concurrency=6):
+    corpus_dir = os.path.join(scratch, "corpus")
+    designs = itc99_corpus(corpus_dir)
+    path = next(p for p in designs if p.endswith(f"{design}.v"))
+    with open(path, encoding="utf-8") as handle:
+        base_text = handle.read()
+
+    sweeps = []
+    pool = None
+    for workers in workers_sweep:
+        store = os.path.join(scratch, f"bench-store-w{workers}")
+        process, client = start_server(
+            "--store", store, "--workers", str(workers),
+            "--queue-size", "32", max_retries=0,
+        )
+        if pool is None:
+            pool = "process" if "pool=process" in process_banner(process) \
+                else "thread"
+        try:
+            # One warm-up request absorbs worker start-up cost.
+            client.identify(verilog=base_text + f"\n// warmup w{workers}\n")
+            latencies, errors, elapsed = _bench_sweep(
+                client, base_text, f"w{workers}", duration_s, concurrency
+            )
+        finally:
+            drain(process)
+        assert latencies, f"no successful requests at workers={workers}"
+        assert errors == 0, f"{errors} non-429 failures at workers={workers}"
+        sweeps.append({
+            "workers": workers,
+            "latencies_s": latencies,
+            "errors": errors,
+            "elapsed_s": elapsed,
+        })
+        print(f"[bench] workers={workers}: {len(latencies)} requests in "
+              f"{elapsed:.1f}s ({len(latencies) / elapsed:.1f} req/s)")
+
+    report = build_report(design, pool or "thread", concurrency, sweeps)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    scaling = report["scaling"]
+    print(f"[bench] wrote {output} (workers {workers_sweep[0]}→"
+          f"{workers_sweep[-1]} throughput ratio "
+          f"{scaling:.2f}x on {report['cpu_count']} CPU core(s))")
+
+
+def process_banner(process):
+    """The banner line already consumed by start_server, replayed.
+
+    start_server reads exactly one stdout line (the banner); keep a copy
+    on the process object so the bench can report the pool mode.
+    """
+    return getattr(process, "_banner", "")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--scratch", default=None,
         help="working directory (default: a fresh temp dir)",
     )
+    parser.add_argument(
+        "--bench", metavar="OUT.json", default=None,
+        help="also run the sustained load benchmark and write its "
+        "schema-stamped report (BENCH_serve.json) here",
+    )
+    parser.add_argument(
+        "--bench-duration", type=float, default=6.0,
+        help="seconds per --workers sweep of the load benchmark "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--bench-only", action="store_true",
+        help="skip the smoke checks and run only the --bench sweeps",
+    )
     args = parser.parse_args()
-    if args.scratch:
-        os.makedirs(args.scratch, exist_ok=True)
-        scratch = args.scratch
-        check_byte_identity(scratch)
-        check_load_shedding(scratch)
-    else:
-        with tempfile.TemporaryDirectory(prefix="serve-smoke-") as scratch:
+
+    def run(scratch):
+        if not args.bench_only:
             check_byte_identity(scratch)
             check_load_shedding(scratch)
+        if args.bench:
+            check_sustained_load(scratch, args.bench, args.bench_duration)
+
+    if args.scratch:
+        os.makedirs(args.scratch, exist_ok=True)
+        run(args.scratch)
+    else:
+        with tempfile.TemporaryDirectory(prefix="serve-smoke-") as scratch:
+            run(scratch)
     print("[smoke] PASS")
     return 0
 

@@ -43,6 +43,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..netlist.cone import ConeNode, extract_cone
 from ..netlist.netlist import Netlist
+from . import kernels
 from .hashkey import (
     DEFAULT_DEPTH,
     LEAF_TOKEN,
@@ -92,10 +93,22 @@ class AnalysisContext:
         self._supports: Dict[Tuple[str, int], frozenset] = {}
         self._netsets: Dict[Tuple[str, int], frozenset] = {}
         self._keys_precomputed = False
-        # level -> {net: key} for levels 1..depth-1, filled by
+        # level -> mapping of net -> key for levels 1..depth-1, filled by
         # precompute_keys(); lets signature() resolve subtree keys with one
         # plain-string dict probe (missing net == cone leaf == LEAF_TOKEN).
-        self._level_keys: Dict[int, Dict[str, str]] = {}
+        # Under the array kernel the values are
+        # :class:`~repro.core.kernels.LevelKeyView` objects (same ``get``
+        # contract, interned strings) instead of dicts.
+        self._level_keys: Dict[int, Mapping[str, str]] = {}
+        # Array-kernel state (repro.core.kernels): resolved once per
+        # context so a mid-run env change cannot split a single analysis
+        # across kernels.  The CSR table and cone bitsets build lazily.
+        self.kernel = kernels.active_kernel()
+        self._shared_entry: Optional[kernels._SharedEntry] = None
+        self._table: Optional[kernels.NetTable] = None
+        self._cone_bitsets: Optional[kernels.ConeBitsets] = None
+        self._root_types: Dict[Tuple[str, int], str] = {}
+        self._subtrees: Dict[str, Subtree] = {}
 
     # ------------------------------------------------------------------
     # cones
@@ -203,6 +216,14 @@ class AnalysisContext:
         if self._keys_precomputed:
             return
         self._keys_precomputed = True
+        if self.kernel == "array":
+            table = self._ensure_table()
+            views, completed = kernels.shared_level_views(
+                self._shared_entry, self.depth, self.budget
+            )
+            self._level_keys.update(views)
+            self.stats.key_misses += table.num_eligible * completed
+            return
         boundary = self.boundary
         eligible = [
             (net, gate.inputs, gate.cell.name)
@@ -241,6 +262,19 @@ class AnalysisContext:
             prev = cur
             completed_levels += 1
         self.stats.key_misses += len(eligible) * completed_levels
+
+    def _ensure_table(self) -> Optional[kernels.NetTable]:
+        """The process-shared CSR :class:`~repro.core.kernels.NetTable`
+        for this netlist, bound on first use; ``None`` under the python
+        kernel."""
+        if self.kernel != "array":
+            return None
+        if self._table is None:
+            self._shared_entry = kernels.shared_entry(
+                self.netlist, self.boundary
+            )
+            self._table = self._shared_entry.table
+        return self._table
 
     def hash_key(self, node: ConeNode) -> str:
         """Canonical post-order key of an expanded cone subtree, memoized
@@ -314,6 +348,9 @@ class AnalysisContext:
         return sig
 
     def signatures(self, nets: Sequence[str]) -> List[BitSignature]:
+        view = self._level_keys.get(self.depth - 1)
+        if type(view) is kernels.LevelKeyView:
+            return kernels.bulk_signatures(self, nets, view)
         return [self.signature(net) for net in nets]
 
     # ------------------------------------------------------------------
@@ -356,6 +393,44 @@ class AnalysisContext:
             result = frozenset(acc)
         self._netsets[memo_key] = result
         return result
+
+    def common_cone_nets(
+        self, roots: Sequence[str], levels: int
+    ) -> Optional[set]:
+        """Intersection of ``cone_nets(root, levels)`` over ``roots``,
+        computed on packed-uint64 bitsets — or ``None`` when the array
+        kernel is off and the caller should run the set-based loop.
+
+        Mirrors the python loop movement for movement: one netset
+        hit/miss per root in order, with the same early exit as soon as
+        the running intersection empties (later roots never counted).
+        """
+        if self.kernel != "array" or not roots:
+            return None
+        table = self._ensure_table()
+        index_get = table.index.get
+        ids = [index_get(net) for net in roots]
+        if any(i is None for i in ids):
+            return None
+        if self._cone_bitsets is None:
+            self._cone_bitsets = kernels.ConeBitsets(table)
+        bitsets = self._cone_bitsets
+        stats = self.stats
+        common = None
+        for net_id in ids:
+            row = bitsets.cached_row(net_id, levels)
+            if row is None:
+                stats.netset_misses += 1
+                row = bitsets.row(net_id, levels)
+            else:
+                stats.netset_hits += 1
+            if common is None:
+                common = row.copy()
+            else:
+                common &= row
+                if not common.any():
+                    return set()
+        return kernels.decode_bitset_row(table, common)
 
     # ------------------------------------------------------------------
     # incremental re-hash after reduction
@@ -409,12 +484,36 @@ class AnalysisContext:
         reduced_boundary = reduced.cone_leaf_nets()
         local_keys: Dict[Tuple[str, int], str] = {}
 
+        dirty = None
+        if (
+            self.kernel == "array"
+            and len(self.netlist) >= kernels.REHASH_MIN_NETS
+        ):
+            # Vectorized dirty pass: one level-synchronous sweep answers
+            # every support/values intersection this assignment needs,
+            # instead of materializing per-(net, level) support sets.
+            table = self._ensure_table()
+            table_index = table.index
+            dirty = kernels.dirty_flags(
+                table,
+                [
+                    i
+                    for i in (table_index.get(net) for net in values)
+                    if i is not None
+                ],
+                self.depth,
+            )
+
         def changed(net: str, levels: int) -> bool:
             # Assigned nets are conservatively dirty at levels >= 1: a
             # reduced netlist may re-drive them with a TIE cell, which an
             # unreduced key cannot anticipate.
             if levels and net in values:
                 return True
+            if dirty is not None:
+                index = table_index.get(net)
+                if index is not None:
+                    return dirty[levels][index]
             return not self.support(net, levels).isdisjoint(values)
 
         def reduced_key(net: str, levels: int) -> str:

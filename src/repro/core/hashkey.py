@@ -134,6 +134,45 @@ class BitSignature:
         return [s for s in self.subtrees if s.key == key]
 
 
+def fast_subtree(
+    root_net: str, key: str, cone_factory: Callable[[], ConeNode]
+) -> Subtree:
+    """:class:`Subtree` built without the frozen-dataclass ``__init__``.
+
+    Frozen dataclasses funnel every field store through
+    ``object.__setattr__``; the array kernel constructs hundreds of
+    thousands of subtrees per run, so it writes the instance dict
+    directly.  Field-for-field identical to ``Subtree(...)`` (equality,
+    hashing, and ``cone`` behave the same).
+    """
+    subtree = _SUBTREE_NEW(Subtree)
+    fields = subtree.__dict__
+    fields["root_net"] = root_net
+    fields["key"] = key
+    fields["_cone_factory"] = cone_factory
+    return subtree
+
+
+def fast_signature(
+    net: str,
+    root_type: Optional[str],
+    subtrees: Tuple[Subtree, ...],
+    sorted_keys: Tuple[str, ...],
+) -> BitSignature:
+    """:class:`BitSignature` built like :func:`fast_subtree`."""
+    signature = _SIGNATURE_NEW(BitSignature)
+    fields = signature.__dict__
+    fields["net"] = net
+    fields["root_type"] = root_type
+    fields["subtrees"] = subtrees
+    fields["sorted_keys"] = sorted_keys
+    return signature
+
+
+_SUBTREE_NEW = Subtree.__new__
+_SIGNATURE_NEW = BitSignature.__new__
+
+
 def _root_type(node: ConeNode) -> Optional[str]:
     if node.is_leaf:
         return None

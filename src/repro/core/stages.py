@@ -727,6 +727,7 @@ class AnalysisEngine:
         context.budget = budget
         result = IdentificationResult()
         result.trace.jobs = self.config.jobs
+        result.trace.kernel = context.kernel
         chain: Optional[ConeCacheChain] = None
         if self.cone_tiers:
             chain = ConeCacheChain(

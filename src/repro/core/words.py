@@ -186,6 +186,11 @@ class StageTrace:
     num_infeasible_assignments: int = 0
     num_subcircuits_extracted: int = 0
     jobs: int = 1
+    # Which signature-kernel implementation computed the run ("python" or
+    # "array", see repro.core.kernels).  Like ``jobs`` it is outside
+    # counter_dict(): both kernels produce byte-identical results, so the
+    # determinism oracles must not see which one ran.
+    kernel: str = "python"
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     cache: CacheStats = field(default_factory=CacheStats)
     # Resilience layer (see core/resilience.py and DESIGN.md §8): every
@@ -280,6 +285,7 @@ class StageTrace:
         return {
             "counters": self.counter_dict(),
             "jobs": self.jobs,
+            "kernel": self.kernel,
             "stage_seconds": dict(self.stage_seconds),
             "cache": self.cache.as_dict(),
             "degraded": self.degraded,

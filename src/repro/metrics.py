@@ -206,6 +206,37 @@ class Histogram(_Metric):
             state.total += value
             state.count += 1
 
+    def merge(
+        self,
+        bucket_counts: Sequence[int],
+        total: float,
+        count: int,
+        **labels: str,
+    ) -> None:
+        """Fold pre-bucketed observations in (cross-process aggregation).
+
+        The serve process pool observes latencies in worker-process
+        registries and ships the movement back as bucket deltas; this is
+        the receiving side.  ``bucket_counts`` must align with this
+        histogram's bucket bounds.
+        """
+        if len(bucket_counts) != len(self.buckets):
+            raise ValueError(
+                f"expected {len(self.buckets)} bucket counts, "
+                f"got {len(bucket_counts)}"
+            )
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                state = _HistogramState(len(self.buckets))
+                self._values[key] = state
+            assert isinstance(state, _HistogramState)
+            for index, moved in enumerate(bucket_counts):
+                state.bucket_counts[index] += moved
+            state.total += total
+            state.count += count
+
     def count(self, **labels: str) -> int:
         key = _label_key(self.labelnames, labels)
         with self._lock:

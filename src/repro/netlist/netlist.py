@@ -80,6 +80,11 @@ class Netlist:
         # Cached name -> file position; lets subcircuit extraction order a
         # small kept-gate set without scanning every gate in the netlist.
         self._position_cache: Optional[Dict[str, int]] = None
+        # Monotonic structural revision, bumped by every mutation.  External
+        # derived-index caches (the array kernel's CSR tables) key on
+        # ``(netlist identity, revision)`` so a mutated netlist can never
+        # answer from a stale index.
+        self.revision: int = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -90,10 +95,12 @@ class Netlist:
         if net not in self.primary_inputs:
             self.primary_inputs.append(net)
             self._leaf_cache = None
+            self.revision += 1
 
     def add_output(self, net: str) -> None:
         if net not in self.primary_outputs:
             self.primary_outputs.append(net)
+            self.revision += 1
 
     def add_gate(
         self,
@@ -120,6 +127,7 @@ class Netlist:
         if cell.sequential:
             self._leaf_cache = None
         self._position_cache = None
+        self.revision += 1
         return gate
 
     def remove_gate(self, name: str) -> Gate:
@@ -134,6 +142,7 @@ class Netlist:
                 del self._fanouts[net]
         if gate.is_ff:
             self._leaf_cache = None
+        self.revision += 1
         return gate
 
     def replace_gate(
@@ -161,6 +170,7 @@ class Netlist:
             self._fanouts.setdefault(net, []).append(gate)
         if old.is_ff or gate.is_ff:
             self._leaf_cache = None
+        self.revision += 1
         return gate
 
     # ------------------------------------------------------------------

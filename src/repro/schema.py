@@ -39,7 +39,11 @@ __all__ = ["SCHEMA_VERSION", "PIPELINE_VERSION", "stamp"]
 #: the ``degraded``/``quarantined``/``quarantine_reasons`` aggregate
 #: fields, ``read_timeout_seconds`` on ``/healthz``, and ``store_mode``
 #: on ``/readyz``.
-SCHEMA_VERSION = 5
+#: v6: the ``kernel`` trace field (which signature-kernel implementation
+#: computed the run, see ``repro.core.kernels``) in ``--trace-json`` /
+#: report traces and stored result envelopes, plus the ``BENCH_serve``
+#: load-benchmark report (``scripts/serve_smoke.py --bench``).
+SCHEMA_VERSION = 6
 
 
 def stamp(payload: Dict) -> Dict:

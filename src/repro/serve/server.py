@@ -228,6 +228,14 @@ def build_parser() -> argparse.ArgumentParser:
         "per netlist, default %(default)s)",
     )
     parser.add_argument(
+        "--pool", choices=("auto", "thread", "process"), default="auto",
+        help="worker pool type: 'process' gives each analysis a worker "
+        "process (CPU parallelism; designs ship between processes by "
+        "store digest, so it needs --store); 'auto' picks process when "
+        "a store is configured and no fault plan is active "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
         "--queue-size", type=int, default=16,
         help="admitted requests allowed to wait beyond --workers before "
         "load shedding with 429 (default %(default)s)",
@@ -293,7 +301,8 @@ async def _amain(args: argparse.Namespace, service: AnalysisService) -> int:
         except NotImplementedError:  # non-Unix event loops
             pass
     print(f"repro-serve listening on http://{host}:{port} "
-          f"(workers={service.workers}, queue={service.queue_size})",
+          f"(workers={service.workers}, queue={service.queue_size}, "
+          f"pool={service.pool})",
           flush=True)
     code = await server.serve_until_drained()
     print("repro-serve drained cleanly" if code == 0
@@ -324,6 +333,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         store=args.store,
         max_store_bytes=args.max_store_bytes,
     )
+    pool = args.pool
+    if pool == "auto":
+        # Process workers need the store (that is how designs reach
+        # them), and fault plans count per-process state the chaos tests
+        # assert on — keep those runs single-process.
+        pool = (
+            "process"
+            if session.store is not None and _faults.current() is None
+            else "thread"
+        )
     try:
         service = AnalysisService(
             session,
@@ -335,6 +354,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             registry=registry,
             hold_s=args.hold_s,
             read_timeout=args.read_timeout,
+            pool=pool,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple, Union
 
 from .. import metrics as _metrics
+from . import pool as _pool
 from ..api import AnalysisReport, Session
 from ..batch import _aggregate, _row_from_report
 from ..core.resilience import BudgetExceeded, PreflightError
@@ -90,6 +91,14 @@ class AnalysisService:
         The socket layer's request-read timeout in seconds (``repro
         serve --read-timeout``).  The service only *reports* it (on
         ``/healthz``); enforcement lives in the transport.
+    ``pool``
+        ``"thread"`` (default) runs analyses on a thread pool sharing
+        this process's session; ``"process"`` runs them in worker
+        processes built by :mod:`repro.serve.pool`, each with its own
+        session over the same store (designs travel by content digest,
+        never re-parsed; worker metric movement is merged back into
+        ``registry``).  Admission, drain, and response bytes are
+        identical either way.
     """
 
     def __init__(
@@ -103,6 +112,7 @@ class AnalysisService:
         registry: Optional[_metrics.MetricsRegistry] = None,
         hold_s: float = 0.0,
         read_timeout: float = 30.0,
+        pool: str = "thread",
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -110,6 +120,8 @@ class AnalysisService:
             raise ValueError("queue_size must be >= 0")
         if read_timeout <= 0:
             raise ValueError("read_timeout must be > 0")
+        if pool not in ("thread", "process"):
+            raise ValueError("pool must be 'thread' or 'process'")
         self.session = session
         self.read_timeout = read_timeout
         self.workers = workers
@@ -123,9 +135,23 @@ class AnalysisService:
             if registry is not None
             else (_metrics.current() or _metrics.MetricsRegistry())
         )
-        self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-serve"
-        )
+        self.pool = pool
+        if pool == "process":
+            store = session.store
+            self._pool = _pool.create_executor(
+                workers,
+                session.config,
+                store.root if store is not None else None,
+                store.max_bytes if store is not None else None,
+                default_deadline_s,
+                strict,
+                journal,
+                hold_s,
+            )
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-serve"
+            )
         self._admitted = 0
         self._draining = False
         self._started_at = time.monotonic()
@@ -245,17 +271,17 @@ class AnalysisService:
         if path == "/v1/identify":
             if method != "POST":
                 return _error(405, "method_not_allowed", "use POST")
-            return await self._admitted_request(body, self._identify)
+            return await self._admitted_request(body, "identify")
         if path == "/v1/batch":
             if method != "POST":
                 return _error(405, "method_not_allowed", "use POST")
-            return await self._admitted_request(body, self._batch)
+            return await self._admitted_request(body, "batch")
         return _error(404, "not_found", f"no route for {method} {path}")
 
     # ------------------------------------------------------------------
     # admission control
     # ------------------------------------------------------------------
-    async def _admitted_request(self, body: bytes, handler) -> Response:
+    async def _admitted_request(self, body: bytes, endpoint: str) -> Response:
         if self._draining:
             return _error(503, "draining", "service is shutting down")
         if len(body) > MAX_BODY_BYTES:
@@ -278,8 +304,14 @@ class AnalysisService:
         self._update_gauges()
         try:
             loop = asyncio.get_running_loop()
+            if self.pool == "process":
+                response, deltas = await loop.run_in_executor(
+                    self._pool, _pool.run_request, endpoint, payload
+                )
+                _pool.merge_deltas(self.registry, deltas)
+                return response
             return await loop.run_in_executor(
-                self._pool, self._guarded, handler, payload
+                self._pool, self.execute, endpoint, payload
             )
         finally:
             self._admitted -= 1
@@ -289,8 +321,15 @@ class AnalysisService:
         self._inflight.set(min(self._admitted, self.workers))
         self._queue_depth.set(max(0, self._admitted - self.workers))
 
-    def _guarded(self, handler, payload: Dict) -> Response:
-        """Worker-thread wrapper: map analysis failures to statuses."""
+    def execute(self, endpoint: str, payload: Dict) -> Response:
+        """Run one admitted request body to a :class:`Response`, inline.
+
+        This is the whole per-request analysis path below admission —
+        the thread pool calls it on a worker thread; the process pool
+        calls it inside the worker process (via
+        :func:`repro.serve.pool.run_request`).
+        """
+        handler = self._identify if endpoint == "identify" else self._batch
         if self.hold_s > 0:
             time.sleep(self.hold_s)
         try:

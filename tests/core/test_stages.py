@@ -110,6 +110,7 @@ class TestEngineTrace:
         assert set(dumped) == {
             "counters",
             "jobs",
+            "kernel",
             "stage_seconds",
             "cache",
             "degraded",
@@ -119,6 +120,7 @@ class TestEngineTrace:
             "cache_provenance",
         }
         assert dumped["jobs"] == 2
+        assert dumped["kernel"] in ("python", "array")
         assert dumped["cache_provenance"] == {}  # no store attached
         # A clean run carries an empty resilience record.
         assert dumped["degraded"] is False

@@ -15,7 +15,7 @@ import pytest
 
 from repro.fuzz.generator import generate, sample_seed
 from repro.fuzz.mutations import MUTATION_NAMES, apply_mutation
-from repro.fuzz.oracles import run_oracles
+from repro.fuzz.oracles import DEFAULT_ORACLES, run_oracles
 
 #: Corpus indices used for the smoke: index 0 alone catches every
 #: mutation today; index 1 is headroom against generator drift.
@@ -43,6 +43,12 @@ def test_mutation_names_are_stable():
         "unstable-parallel-merge",
         "name-sensitive-grouping",
     }
+
+
+def test_kernel_oracle_is_registered():
+    # Every fuzz campaign must differentially check the array kernel
+    # against the python reference on each sample.
+    assert "kernel" in {name for name, _ in DEFAULT_ORACLES}
 
 
 def test_unknown_mutation_rejected():

@@ -1,0 +1,105 @@
+"""Pins the shape of the ``BENCH_serve.json`` load-benchmark report.
+
+``scripts/serve_smoke.py --bench`` emits whatever
+:func:`repro.serve.bench.build_report` builds; CI archives that file, so
+its shape is part of the schema surface (v6).  This suite feeds the
+builder synthetic sweep data and asserts every promised field — anybody
+reshaping the report must update these expectations *and* bump
+``SCHEMA_VERSION``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schema import SCHEMA_VERSION
+from repro.serve.bench import build_report, percentile, summarize_latencies
+
+
+class TestPercentile:
+    def test_nearest_rank_is_deterministic(self):
+        values = [0.5, 0.1, 0.9, 0.3, 0.7]
+        assert percentile(values, 50) == 0.5
+        assert percentile(values, 100) == 0.9
+        # Nearest-rank: p99 of five samples is the 5th order statistic.
+        assert percentile(values, 99) == 0.9
+        # ... and p1 is the 1st.
+        assert percentile(values, 1) == 0.1
+
+    def test_single_sample_answers_every_quantile(self):
+        assert percentile([0.25], 50) == 0.25
+        assert percentile([0.25], 99) == 0.25
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError, match="q must be"):
+            percentile([1.0], 0)
+        with pytest.raises(ValueError, match="q must be"):
+            percentile([1.0], 101)
+
+
+class TestSummarize:
+    def test_summary_keys(self):
+        summary = summarize_latencies([0.2, 0.1, 0.4, 0.3])
+        assert sorted(summary) == ["max", "mean", "p50", "p90", "p99"]
+        assert summary["p50"] == 0.2
+        assert summary["p90"] == summary["p99"] == summary["max"] == 0.4
+        assert summary["mean"] == pytest.approx(0.25)
+
+    def test_empty_sweep_reports_zeros(self):
+        assert summarize_latencies([]) == {
+            "p50": 0.0, "p90": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0,
+        }
+
+
+def _sweeps():
+    return [
+        {"workers": 1, "latencies_s": [0.5] * 10, "errors": 0,
+         "elapsed_s": 5.0},
+        {"workers": 2, "latencies_s": [0.4] * 14, "errors": 0,
+         "elapsed_s": 5.0},
+        {"workers": 4, "latencies_s": [0.3] * 20, "errors": 1,
+         "elapsed_s": 5.0},
+    ]
+
+
+class TestBuildReport:
+    def test_report_shape(self):
+        report = build_report("b13", "process", 6, _sweeps(), cpu_count=1)
+        # stamp() provenance plus the bench payload proper.
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["bench"] == "serve_load"
+        assert report["design"] == "b13"
+        assert report["pool"] == "process"
+        assert report["concurrency"] == 6
+        assert report["cpu_count"] == 1
+        assert len(report["sweeps"]) == 3
+        for row in report["sweeps"]:
+            assert sorted(row) == [
+                "elapsed_s", "errors", "latency_s", "req_per_s",
+                "requests", "workers",
+            ]
+            assert sorted(row["latency_s"]) == [
+                "max", "mean", "p50", "p90", "p99",
+            ]
+        first, last = report["sweeps"][0], report["sweeps"][-1]
+        assert first == {
+            "workers": 1, "requests": 10, "errors": 0, "elapsed_s": 5.0,
+            "req_per_s": 2.0,
+            "latency_s": {"p50": 0.5, "p90": 0.5, "p99": 0.5,
+                          "mean": 0.5, "max": 0.5},
+        }
+        assert last["errors"] == 1
+        # scaling = last req/s over first req/s: (20/5) / (10/5) = 2.
+        assert report["scaling"] == pytest.approx(2.0)
+
+    def test_scaling_needs_two_sweeps(self):
+        report = build_report("b13", "thread", 1, _sweeps()[:1], cpu_count=1)
+        assert report["scaling"] is None
+
+    def test_cpu_count_defaults_to_host(self):
+        report = build_report("b13", "thread", 1, _sweeps())
+        assert report["cpu_count"] >= 1

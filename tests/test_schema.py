@@ -184,8 +184,8 @@ def load_golden():
 
 
 class TestVersionStamps:
-    def test_schema_version_is_5(self):
-        assert SCHEMA_VERSION == 5
+    def test_schema_version_is_6(self):
+        assert SCHEMA_VERSION == 6
 
     def test_stamp_prepends_current_versions(self):
         stamped = stamp({"x": 1, "schema_version": 999})
