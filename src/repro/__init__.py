@@ -42,8 +42,9 @@ Quick start
     report.words, report.cache                # ..., "miss" ("hit" on rerun)
 
 The historical entry points ``repro.identify_words`` and
-``repro.shape_hashing`` still work but are deprecated in favour of the
-facade (the un-deprecated originals live on in :mod:`repro.core`).
+``repro.shape_hashing`` are deprecated Session-backed shims slated for
+removal in repro 2.0 (the un-deprecated originals live on in
+:mod:`repro.core`).
 """
 
 import warnings as _warnings
@@ -54,8 +55,6 @@ from .core import (
     PipelineConfig,
     Word,
 )
-from .core import identify_words as _identify_words
-from .core import shape_hashing as _shape_hashing
 from .eval import evaluate, extract_reference_words, run_benchmark
 from .netlist import Netlist, NetlistBuilder, parse_verilog, write_verilog
 from .store import ArtifactStore
@@ -82,31 +81,49 @@ __all__ = [
 ]
 
 
-def identify_words(*args, **kwargs):
-    """Deprecated alias for :func:`repro.core.identify_words`.
+def identify_words(netlist, config=None, **kwargs):
+    """Deprecated Session-backed alias; removed in repro 2.0.
 
-    Prefer ``repro.api.Session().analyze(...)`` — it adds artifact-store
-    caching and returns a stable, versioned :class:`AnalysisReport`.
+    Runs through :class:`repro.api.Session` (so a ``store`` argument
+    gets the same caching and netlist-commit behaviour as the facade)
+    and returns the report's raw
+    :class:`~repro.core.words.IdentificationResult`, preserving the
+    historical return type.  Power-user keyword arguments (``context``,
+    ``cone_cache``) forward to :func:`repro.core.identify_words`, which
+    is the un-deprecated library entry point.
     """
     _warnings.warn(
-        "repro.identify_words is deprecated; use repro.api.Session.analyze "
-        "(or import repro.core.identify_words directly)",
+        "repro.identify_words is deprecated and will be removed in "
+        "repro 2.0; use repro.api.Session.analyze (or "
+        "repro.core.identify_words)",
         DeprecationWarning,
         stacklevel=2,
     )
-    return _identify_words(*args, **kwargs)
+    store = kwargs.pop("store", None)
+    if kwargs:
+        from .core import identify_words as _core_identify_words
+
+        return _core_identify_words(netlist, config, store=store, **kwargs)
+    return Session(config=config, store=store).analyze(netlist).result
 
 
-def shape_hashing(*args, **kwargs):
-    """Deprecated alias for :func:`repro.core.shape_hashing`.
+def shape_hashing(netlist, config=None, store=None):
+    """Deprecated Session-backed alias; removed in repro 2.0.
 
-    Prefer ``repro.api.Session(baseline=True).analyze(...)``.
+    Equivalent to ``Session(config=config, baseline=True)
+    .analyze(netlist).result``; a ``config`` with partial matching
+    enabled is rejected exactly as :func:`repro.core.shape_hashing`
+    rejects it.
     """
     _warnings.warn(
-        "repro.shape_hashing is deprecated; use "
-        "repro.api.Session(baseline=True).analyze "
-        "(or import repro.core.shape_hashing directly)",
+        "repro.shape_hashing is deprecated and will be removed in "
+        "repro 2.0; use repro.api.Session(baseline=True).analyze (or "
+        "repro.core.shape_hashing)",
         DeprecationWarning,
         stacklevel=2,
     )
-    return _shape_hashing(*args, **kwargs)
+    return (
+        Session(config=config, store=store, baseline=True)
+        .analyze(netlist)
+        .result
+    )

@@ -96,6 +96,7 @@ class AnalysisReport:
             "digest": self.digest,
             "cache": self.cache,
             "key": self.key,
+            "backend": self.trace.get("backend", "ours"),
             "netlist": {
                 "name": self.design,
                 "gates": self.num_gates,
@@ -193,8 +194,12 @@ class Session:
 
     ``config``
         The :class:`PipelineConfig` every analysis uses (default: paper
-        settings).  ``baseline=True`` swaps in the shape-hashing baseline
-        configuration instead.
+        settings).  ``config.backend`` selects the identification
+        strategy (:mod:`repro.core.backends`): ``Session(
+        config=PipelineConfig(backend="regfeat"))`` runs the
+        feature-vector aggregator, etc.  ``baseline=True`` swaps in the
+        shape-hashing baseline configuration instead (equivalent to
+        ``backend="base"``).
     ``store``
         ``None`` (no caching), a directory path (an
         :class:`~repro.store.ArtifactStore` is opened there), or an

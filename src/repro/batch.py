@@ -143,6 +143,7 @@ def _row_from_report(
         "digest": report.digest,
         "key": report.key,
         "cache": report.cache,
+        "backend": report.trace.get("backend", "ours"),
         "gates": report.num_gates,
         "nets": report.num_nets,
         "flip_flops": report.num_ffs,
@@ -582,6 +583,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="control signals assigned at once (default 2)",
     )
     parser.add_argument(
+        "--backend",
+        default="ours",
+        metavar="NAME",
+        help="identification backend for every row: ours (default), "
+        "base, or regfeat (see repro.core.backends); rows cache under "
+        "per-backend store keys",
+    )
+    parser.add_argument(
+        "--kernel",
+        default=None,
+        metavar="NAME",
+        help="signature kernel: python, array, or auto (default: the "
+        "REPRO_KERNEL environment, then auto)",
+    )
+    parser.add_argument(
         "--score",
         action="store_true",
         help="also score each design against its golden register names",
@@ -646,7 +662,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     try:
         config = PipelineConfig(
-            depth=args.depth, max_simultaneous=args.max_simultaneous
+            depth=args.depth,
+            max_simultaneous=args.max_simultaneous,
+            allow_partial=args.backend != "base",
+            backend=args.backend,
+            kernel=args.kernel,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -5,6 +5,8 @@ This is the tool a downstream user actually runs::
     repro-identify design.v                      # structural Verilog
     repro-identify design.bench --format bench   # ISCAS .bench
     repro-identify design.v --baseline           # shape hashing only
+    repro-identify design.v --backend regfeat    # feature-vector backend
+    repro-identify design.v --kernel python      # force a signature kernel
     repro-identify design.v --json report.json   # machine-readable output
     repro-identify design.v --depth 5 --max-simultaneous 3
     repro-identify design.v --jobs 4             # parallel subgroup search
@@ -36,7 +38,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from .core import PipelineConfig, identify_words, shape_hashing
+from .core import PipelineConfig, identify_words
 from .core.modules import identify_operators
 from .core.propagation import propagate_words
 from .core.resilience import BudgetExceeded, PreflightError
@@ -73,9 +75,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="control signals assigned at once (default 2, the paper's cap)",
     )
     parser.add_argument(
+        "--backend",
+        default="ours",
+        metavar="NAME",
+        help="identification backend: ours (default), base (shape "
+        "hashing [6]), or regfeat (feature-vector register aggregation); "
+        "see repro.core.backends",
+    )
+    parser.add_argument(
         "--baseline",
         action="store_true",
-        help="run shape hashing [6] instead of the control-signal technique",
+        help="run shape hashing [6] instead of the control-signal "
+        "technique (alias for --backend base)",
+    )
+    parser.add_argument(
+        "--kernel",
+        default=None,
+        metavar="NAME",
+        help="signature kernel: python, array, or auto (default: the "
+        "REPRO_KERNEL environment, then auto); output is byte-identical "
+        "for any choice",
     )
     parser.add_argument(
         "--propagate",
@@ -206,7 +225,11 @@ def _report(
             "flip_flops": netlist.num_ffs,
         },
         "config": {
-            "technique": "base" if args.baseline else "ours",
+            # "technique" predates the backend registry and mirrors the
+            # backend name for old consumers; "backend" is authoritative.
+            "technique": result.trace.backend,
+            "backend": result.trace.backend,
+            "kernel": result.trace.kernel,
             "depth": args.depth,
             "max_simultaneous": args.max_simultaneous,
             "jobs": args.jobs,
@@ -255,11 +278,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: cannot parse {args.netlist}: {exc}", file=sys.stderr)
         return 2
 
+    backend = args.backend
+    if args.baseline:
+        if backend not in ("ours", "base"):
+            print(
+                f"error: --baseline conflicts with --backend {backend}",
+                file=sys.stderr,
+            )
+            return 2
+        backend = "base"
     try:
         config = PipelineConfig(
             depth=args.depth,
             max_simultaneous=args.max_simultaneous,
-            allow_partial=not args.baseline,
+            allow_partial=backend != "base",
+            backend=backend,
+            kernel=args.kernel,
             jobs=args.jobs,
             deadline_s=args.deadline,
             max_assignments=args.budget,
@@ -276,10 +310,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         store = ArtifactStore(args.store)
     try:
-        if args.baseline:
-            result = shape_hashing(netlist, config, store=store)
-        else:
-            result = identify_words(netlist, config, store=store)
+        result = identify_words(netlist, config, store=store)
     except (BudgetExceeded, PreflightError) as exc:
         print(f"error (strict): {exc}", file=sys.stderr)
         return 3
@@ -297,7 +328,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         derived = grown.derived
         all_words = grown.words
 
-    technique = "shape hashing [6]" if args.baseline else "control-signal technique"
+    technique = {
+        "base": "shape hashing [6]",
+        "ours": "control-signal technique",
+        "regfeat": "feature-vector aggregation",
+    }.get(config.backend, config.backend)
     print(f"{netlist.name}: {netlist.num_gates} gates, "
           f"{netlist.num_nets} nets, {netlist.num_ffs} flip-flops")
     words = [w for w in result.words if w.width >= args.min_width]

@@ -33,7 +33,11 @@ def baseline_config(
     per-subgroup work to parallelize.
     """
     return PipelineConfig(
-        depth=depth, allow_partial=False, grouping=grouping, jobs=jobs
+        depth=depth,
+        allow_partial=False,
+        grouping=grouping,
+        jobs=jobs,
+        backend="base",
     )
 
 

@@ -75,12 +75,18 @@ __all__ = [
 #: applied before the envelope is built, but a truncated list under one
 #: cap must not alias an untruncated one under another, so it stays in
 #: the fingerprint); ``accept_partial_heals`` changes the win condition.
+#: ``backend`` joins conservatively: only the staged backends reach the
+#: cone tier today (``regfeat`` performs no reduction search), and
+#: ``base``/``ours`` are already split by ``allow_partial``, but a future
+#: backend sharing the search must not silently alias entries computed
+#: under different win conditions.
 CONE_FINGERPRINT_FIELDS = (
     "depth",
     "max_simultaneous",
     "allow_partial",
     "max_control_signals",
     "accept_partial_heals",
+    "backend",
 )
 
 #: PipelineConfig fields proven not to change a subgroup outcome, so two
@@ -91,9 +97,13 @@ CONE_FINGERPRINT_FIELDS = (
 #: cached; ``max_cone_gates`` is checked before any probe or commit;
 #: ``preflight`` is diagnostics-only; a run with a ``fault_hook``
 #: disables cone caching entirely.
+#: ``kernel`` is neutral for the same reason ``jobs`` is: both kernels
+#: produce byte-identical outcomes (the differential kernel suite), so
+#: runs differing only in kernel share cone entries.
 CONE_NEUTRAL_FIELDS = (
     "grouping",
     "jobs",
+    "kernel",
     "deadline_s",
     "max_assignments",
     "max_cone_gates",

@@ -72,6 +72,7 @@ class AnalysisContext:
         netlist: Netlist,
         depth: int = DEFAULT_DEPTH,
         parent: Optional["AnalysisContext"] = None,
+        kernel: Optional[str] = None,
     ):
         if depth < 1:
             raise ValueError("depth must be >= 1")
@@ -102,8 +103,15 @@ class AnalysisContext:
         self._level_keys: Dict[int, Mapping[str, str]] = {}
         # Array-kernel state (repro.core.kernels): resolved once per
         # context so a mid-run env change cannot split a single analysis
-        # across kernels.  The CSR table and cone bitsets build lazily.
-        self.kernel = kernels.active_kernel()
+        # across kernels.  The ``kernel`` argument carries an explicit
+        # PipelineConfig.kernel preference (the engine passes it);
+        # sub-contexts inherit the parent's resolved kernel so one run
+        # never mixes kernels.  The CSR table and cone bitsets build
+        # lazily.
+        if kernel is None and parent is not None:
+            self.kernel = parent.kernel
+        else:
+            self.kernel = kernels.resolve_kernel(kernel)
         self._shared_entry: Optional[kernels._SharedEntry] = None
         self._table: Optional[kernels.NetTable] = None
         self._cone_bitsets: Optional[kernels.ConeBitsets] = None

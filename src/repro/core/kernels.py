@@ -19,13 +19,15 @@ integer rows and materializes each distinct string exactly once.  The
 interned strings are shared objects, which also turns the matching
 stage's string equality checks into pointer comparisons.
 
-Kernel selection is environmental, not configurational: ``REPRO_KERNEL``
-chooses ``python`` (the legacy reference), ``array``, or ``auto`` (the
-default — ``array`` when numpy imports, ``python`` otherwise).  Like
-``jobs``, the kernel is output-neutral, so it is deliberately *not* a
-:class:`~repro.config.PipelineConfig` field and does not participate in
-store fingerprints.  The legacy path stays fully alive as the
-differential reference (``tests/core/test_kernels.py``).
+Kernel selection: ``PipelineConfig.kernel`` (also ``--kernel`` on the
+CLIs and the ``"kernel"`` serve-request field) chooses ``python`` (the
+legacy reference), ``array``, or ``auto`` (``array`` when numpy imports,
+``python`` otherwise); when unset, the ``REPRO_KERNEL`` environment
+variable remains the default override with the same values (see
+:func:`resolve_kernel`).  Like ``jobs``, the kernel is output-neutral,
+so it deliberately does not participate in store fingerprints.  The
+legacy path stays fully alive as the differential reference
+(``tests/core/test_kernels.py``).
 """
 
 from __future__ import annotations
@@ -51,6 +53,7 @@ __all__ = [
     "LevelKeyView",
     "ConeBitsets",
     "active_kernel",
+    "resolve_kernel",
     "numpy_available",
     "build_level_tables",
     "bulk_signatures",
@@ -88,6 +91,32 @@ def active_kernel() -> str:
     if value not in KERNELS:
         raise KernelError(
             f"unknown {KERNEL_ENV}={value!r}; expected python|array|auto"
+        )
+    if value == "array" and _np is None:
+        return "python"
+    return value
+
+
+def resolve_kernel(preference: Optional[str] = None) -> str:
+    """The kernel a run should use, honoring a configuration preference.
+
+    ``preference`` is :attr:`~repro.core.pipeline.PipelineConfig.kernel`:
+    ``None`` (the default) defers to the ``REPRO_KERNEL`` environment via
+    :func:`active_kernel` — env selection remains the default override —
+    while ``"auto"``/``"python"``/``"array"`` select explicitly, with the
+    same degradation rule (``array`` falls back to ``python`` when numpy
+    is missing) and the same :class:`KernelError` on unknown names.
+    Kernels are output-neutral, so the choice never enters a store
+    fingerprint.
+    """
+    if preference is None:
+        return active_kernel()
+    value = str(preference).strip().lower()
+    if value == "auto":
+        return "array" if _np is not None else "python"
+    if value not in KERNELS:
+        raise KernelError(
+            f"unknown kernel {preference!r}; expected python|array|auto"
         )
     if value == "array" and _np is None:
         return "python"

@@ -87,6 +87,19 @@ class PipelineConfig:
         Worker threads for the per-subgroup reduction search.  Results
         and trace counters are byte-identical for any value; 1 (default)
         runs fully serial.
+    ``backend``
+        Which registered identification strategy runs
+        (:mod:`repro.core.backends`): ``"ours"`` (default, the paper's
+        technique), ``"base"`` (shape hashing [6]), or ``"regfeat"``
+        (feature-vector register aggregation).  ``backend="base"`` and
+        ``allow_partial=False`` are two spellings of the same strategy
+        and are normalized onto each other, so either spelling produces
+        identical results *and* identical store fingerprints.
+    ``kernel``
+        Signature-kernel preference (:mod:`repro.core.kernels`):
+        ``None`` (default) defers to the ``REPRO_KERNEL`` environment,
+        ``"auto"``/``"python"``/``"array"`` select explicitly.  Kernels
+        are output-neutral and never enter store fingerprints.
 
     Resilience knobs (see :mod:`repro.core.resilience` and DESIGN.md §8 —
     all default to "unlimited", in which case every budget check is a
@@ -124,6 +137,8 @@ class PipelineConfig:
     max_control_signals: int = 8
     accept_partial_heals: bool = False
     jobs: int = 1
+    backend: str = "ours"
+    kernel: Optional[str] = None
     deadline_s: Optional[float] = None
     max_assignments: Optional[int] = None
     max_cone_gates: Optional[int] = None
@@ -142,6 +157,24 @@ class PipelineConfig:
             raise ValueError(f"unknown grouping {self.grouping!r}")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        from .backends import resolve
+
+        resolve(self.backend)  # raises UnknownBackendError (a ValueError)
+        # "base" and "ours without partial matching" are one strategy on
+        # one engine; normalizing the two spellings onto each other keeps
+        # results, trace provenance, and store fingerprints identical no
+        # matter which one a caller used.
+        if self.backend == "base":
+            object.__setattr__(self, "allow_partial", False)
+        elif self.backend == "ours" and not self.allow_partial:
+            object.__setattr__(self, "backend", "base")
+        if self.kernel is not None:
+            from .kernels import KernelError, resolve_kernel
+
+            try:
+                resolve_kernel(self.kernel)
+            except KernelError as exc:
+                raise ValueError(str(exc)) from None
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError("deadline_s must be > 0")
         if self.max_assignments is not None and self.max_assignments < 0:
@@ -157,7 +190,13 @@ def identify_words(
     store=None,
     cone_cache=None,
 ) -> IdentificationResult:
-    """Run the full word-identification flow on a netlist.
+    """Run the word-identification flow ``config.backend`` selects.
+
+    This is the registry dispatch point (:mod:`repro.core.backends`):
+    the default ``backend="ours"`` runs the staged Figure-2 engine
+    exactly as before the registry existed (byte-identical results, the
+    ``backend`` fuzz oracle pins it), ``"base"`` the shape-hashing
+    comparison point, ``"regfeat"`` the feature-vector aggregator.
 
     ``context`` — an optional pre-warmed
     :class:`~repro.core.context.AnalysisContext` for ``netlist`` — lets
@@ -182,6 +221,8 @@ def identify_words(
     ones on everything the determinism oracles compare.
     """
     config = config or PipelineConfig()
-    return AnalysisEngine(config, store=store, cone_cache=cone_cache).run(
-        netlist, context=context
+    from .backends import resolve
+
+    return resolve(config.backend).run(
+        netlist, config, context=context, store=store, cone_cache=cone_cache
     )

@@ -717,7 +717,11 @@ class AnalysisEngine:
     ) -> IdentificationResult:
         started = perf_counter()
         if context is None:
-            context = AnalysisContext(netlist, self.config.depth)
+            context = AnalysisContext(
+                netlist,
+                self.config.depth,
+                kernel=getattr(self.config, "kernel", None),
+            )
         elif context.depth != self.config.depth:
             raise ValueError(
                 f"context depth {context.depth} != config depth "
@@ -726,6 +730,7 @@ class AnalysisEngine:
         budget = RunBudget.from_config(self.config)
         context.budget = budget
         result = IdentificationResult()
+        result.trace.backend = getattr(self.config, "backend", "ours")
         result.trace.jobs = self.config.jobs
         result.trace.kernel = context.kernel
         chain: Optional[ConeCacheChain] = None
@@ -805,6 +810,11 @@ class AnalysisEngine:
         registry.counter(
             "repro_analyses_total", "Completed analysis runs"
         ).inc()
+        registry.counter(
+            "repro_backend_runs_total",
+            "Completed analysis runs per identification backend",
+            labelnames=("backend",),
+        ).inc(backend=result.trace.backend)
         if result.trace.degraded:
             registry.counter(
                 "repro_degraded_runs_total",

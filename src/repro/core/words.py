@@ -186,6 +186,13 @@ class StageTrace:
     num_infeasible_assignments: int = 0
     num_subcircuits_extracted: int = 0
     jobs: int = 1
+    # Which identification backend produced the run (repro.core.backends).
+    # Provenance, not a counter: the backend is part of the store
+    # fingerprint (different backends produce different results, so they
+    # never share cache entries), but within one backend the result
+    # digest must not depend on how the backend was selected — so like
+    # ``jobs`` it stays outside counter_dict().
+    backend: str = "ours"
     # Which signature-kernel implementation computed the run ("python" or
     # "array", see repro.core.kernels).  Like ``jobs`` it is outside
     # counter_dict(): both kernels produce byte-identical results, so the
@@ -259,6 +266,7 @@ class StageTrace:
                    f"{self.num_infeasible_assignments}")
         out.append(f"subcircuits extracted:           "
                    f"{self.num_subcircuits_extracted}")
+        out.append(f"backend:                         {self.backend}")
         out.append(f"parallel jobs:                   {self.jobs}")
         if self.stage_seconds:
             out.append("stage timings:")
@@ -285,6 +293,7 @@ class StageTrace:
         return {
             "counters": self.counter_dict(),
             "jobs": self.jobs,
+            "backend": self.backend,
             "kernel": self.kernel,
             "stage_seconds": dict(self.stage_seconds),
             "cache": self.cache.as_dict(),

@@ -1,0 +1,304 @@
+"""Per-backend Table-1 scoreboard over the fuzz corpus (exact truth).
+
+The ITC99 sweep (:mod:`repro.eval.runner`) scores techniques against
+reference words reconstructed from net naming; the fuzz generator gives
+something strictly stronger — samples with *exact* word-level ground
+truth and per-word regime labels.  This module runs every registered
+identification backend over such a corpus and aggregates the paper's
+Table 1 metrics (%full, fragmentation rate, %not-found) per backend and
+per structural regime, so a new backend lands with a scorecard against
+`ours`/`base` on the same designs, including the adversarial sram/cam
+regimes added for exactly this purpose.
+
+Campaigns journal one JSONL row per sample (fsynced, torn-line safe —
+the primitives of :mod:`repro.eval.runner`), so an interrupted
+``repro scoreboard --journal`` resumes where it stopped.  The final
+payload is schema-stamped (``kind: "scoreboard"``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from ..core.backends import UnknownBackendError, backend_names, resolve
+from ..core.pipeline import PipelineConfig, identify_words
+from ..eval.metrics import FULL, NOT_FOUND, PARTIAL, evaluate
+from ..eval.reference import extract_reference_words
+from ..fuzz.generator import GeneratorConfig, generate, sample_seed
+from ..schema import stamp
+from .runner import append_journal_entry, load_journal_entries
+
+__all__ = [
+    "DEFAULT_BACKENDS",
+    "DEFAULT_SAMPLES",
+    "run_scoreboard",
+    "render_scoreboard",
+    "main",
+]
+
+DEFAULT_BACKENDS = ("ours", "base", "regfeat")
+
+#: The acceptance floor: enough draws that every regime — including the
+#: two ~5%-weight sram/cam regimes — appears several times.
+DEFAULT_SAMPLES = 50
+
+
+def _sample_key(campaign_seed: int, index: int) -> str:
+    return f"{campaign_seed}:{index}"
+
+
+def _score_sample(
+    campaign_seed: int,
+    index: int,
+    backends: Sequence[str],
+    depth: int,
+    config: GeneratorConfig,
+) -> Dict:
+    """One journal row: every backend scored on one generated sample."""
+    sample = generate(sample_seed(campaign_seed, index), config)
+    reference = extract_reference_words(sample.netlist, min_width=2)
+    regime_of = {w.register: w.regime for w in sample.truth}
+    row: Dict = {
+        "sample": _sample_key(campaign_seed, index),
+        "seed": sample.seed,
+        "index": index,
+        "words": len(sample.truth),
+        "backends": {},
+    }
+    for name in backends:
+        run_config = PipelineConfig(depth=depth, backend=name)
+        result = identify_words(sample.netlist, run_config)
+        metrics = evaluate(reference, result)
+        outcomes = []
+        for outcome in metrics.outcomes:
+            register = outcome.reference.register
+            if register not in regime_of:
+                continue  # separator/decoy registers are not truth words
+            outcomes.append({
+                "register": register,
+                "regime": regime_of[register],
+                "status": outcome.status,
+                "fragmentation_rate": outcome.fragmentation_rate,
+            })
+        row["backends"][name] = {
+            "outcomes": outcomes,
+            "runtime_seconds": result.runtime_seconds,
+        }
+    return row
+
+
+def _aggregate(rows: Sequence[Dict], backends: Sequence[str]) -> Dict:
+    """Fold journal rows into the per-backend scoreboard payload."""
+    boards: Dict[str, Dict] = {}
+    for name in backends:
+        total = {FULL: 0, PARTIAL: 0, NOT_FOUND: 0}
+        frag_rates: List[float] = []
+        regimes: Dict[str, Dict[str, int]] = {}
+        runtime = 0.0
+        for row in rows:
+            scored = row["backends"].get(name)
+            if scored is None:
+                continue
+            runtime += scored.get("runtime_seconds", 0.0)
+            for outcome in scored["outcomes"]:
+                status = outcome["status"]
+                total[status] += 1
+                if status == PARTIAL:
+                    frag_rates.append(outcome["fragmentation_rate"])
+                per_regime = regimes.setdefault(
+                    outcome["regime"], {FULL: 0, PARTIAL: 0, NOT_FOUND: 0}
+                )
+                per_regime[status] += 1
+        words = sum(total.values())
+        boards[name] = {
+            "version": resolve(name).version,
+            "words": words,
+            "full": total[FULL],
+            "partial": total[PARTIAL],
+            "not_found": total[NOT_FOUND],
+            "pct_full": 100.0 * total[FULL] / words if words else 0.0,
+            "pct_not_found": (
+                100.0 * total[NOT_FOUND] / words if words else 0.0
+            ),
+            "fragmentation_rate": (
+                sum(frag_rates) / len(frag_rates) if frag_rates else 0.0
+            ),
+            "runtime_seconds": runtime,
+            "regimes": {r: regimes[r] for r in sorted(regimes)},
+        }
+    return boards
+
+
+def run_scoreboard(
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = 0,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    depth: int = 4,
+    journal: Optional[str] = None,
+    generator_config: GeneratorConfig = GeneratorConfig(),
+    progress=None,
+) -> Dict:
+    """Score ``backends`` over ``samples`` generated designs.
+
+    Returns the schema-stamped scoreboard payload.  With ``journal``,
+    per-sample rows are appended as they complete and rows already
+    journaled (matching campaign seed and index) are not re-run.
+    """
+    for name in backends:
+        resolve(name)  # fail fast, before any synthesis work
+    completed: Dict[str, Dict] = {}
+    if journal:
+        for key, entry in load_journal_entries(journal, key="sample").items():
+            # Only rows from this campaign that cover every requested
+            # backend count as done; others re-run (superseding appends).
+            if entry.get("backends", {}).keys() >= set(backends):
+                completed[key] = entry
+    rows: List[Dict] = []
+    for index in range(samples):
+        key = _sample_key(seed, index)
+        row = completed.get(key)
+        if row is None:
+            row = _score_sample(
+                seed, index, backends, depth, generator_config
+            )
+            if journal:
+                append_journal_entry(journal, row)
+        rows.append(row)
+        if progress is not None:
+            progress(index + 1, samples)
+    regimes_present = sorted({
+        outcome["regime"]
+        for row in rows
+        for scored in row["backends"].values()
+        for outcome in scored["outcomes"]
+    })
+    return stamp({
+        "kind": "scoreboard",
+        "campaign_seed": seed,
+        "samples": samples,
+        "depth": depth,
+        "regimes_present": regimes_present,
+        "backends": _aggregate(rows, backends),
+    })
+
+
+def render_scoreboard(payload: Dict) -> str:
+    """Fixed-width text rendering, one backend per row (Table 1 style)."""
+    lines = [
+        f"Backend scoreboard — {payload['samples']} fuzz samples "
+        f"(campaign seed {payload['campaign_seed']}), "
+        f"{len(payload['regimes_present'])} regimes",
+        "",
+        f"{'backend':<10} {'words':>5} {'full%':>7} {'frag':>6} "
+        f"{'notfound%':>9}  {'seconds':>8}",
+    ]
+    for name, board in payload["backends"].items():
+        lines.append(
+            f"{name:<10} {board['words']:>5} {board['pct_full']:>7.1f} "
+            f"{board['fragmentation_rate']:>6.2f} "
+            f"{board['pct_not_found']:>9.1f}  "
+            f"{board['runtime_seconds']:>8.2f}"
+        )
+    lines.append("")
+    lines.append("full-found words per regime:")
+    regimes = payload["regimes_present"]
+    header = f"{'regime':<12}" + "".join(
+        f"{name:>9}" for name in payload["backends"]
+    )
+    lines.append(header)
+    for regime in regimes:
+        cells = []
+        for board in payload["backends"].values():
+            counts = board["regimes"].get(
+                regime, {FULL: 0, PARTIAL: 0, NOT_FOUND: 0}
+            )
+            words = sum(counts.values())
+            cells.append(f"{counts[FULL]:>5}/{words:<3}")
+        lines.append(f"{regime:<12}" + "".join(f"{c:>9}" for c in cells))
+    return "\n".join(lines)
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro scoreboard",
+        description="Score identification backends against exact fuzz "
+        "ground truth (per-backend Table 1 over generated designs)",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=DEFAULT_SAMPLES,
+        help="generated designs to score (default %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed (default %(default)s)",
+    )
+    parser.add_argument(
+        "--backends", default=",".join(DEFAULT_BACKENDS),
+        help="comma-separated backend names (default %(default)s)",
+    )
+    parser.add_argument(
+        "--depth", type=int, default=4,
+        help="fanin-cone depth for every backend (default %(default)s)",
+    )
+    parser.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="append per-sample JSONL rows here and resume completed "
+        "samples on re-run",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the stamped scoreboard payload to PATH ('-' for "
+        "stdout)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    backends = tuple(
+        name.strip() for name in args.backends.split(",") if name.strip()
+    )
+    try:
+        for name in backends:
+            resolve(name)
+    except UnknownBackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not backends:
+        print(
+            "error: --backends named no backend; registered backends: "
+            + ", ".join(backend_names()),
+            file=sys.stderr,
+        )
+        return 2
+
+    def progress(done: int, total: int) -> None:
+        print(f"\rscored {done}/{total} samples", end="", file=sys.stderr)
+        if done == total:
+            print(file=sys.stderr)
+
+    payload = run_scoreboard(
+        samples=args.samples,
+        seed=args.seed,
+        backends=backends,
+        depth=args.depth,
+        journal=args.journal,
+        progress=progress if sys.stderr.isatty() else None,
+    )
+    if args.json == "-":
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        print(render_scoreboard(payload))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,8 +18,17 @@ Generation is split into two deterministic halves:
 
 Each :class:`TrueWord` carries the regime's expected recovery:
 ``expect_ours="full"`` for the regimes the paper's technique provably
-heals (data/counter/selected/alternating/crossed) and ``expect_base``
-likewise for the baseline (data only).  The expectation oracle checks
+heals (data/counter/selected/alternating/crossed, plus the sram
+decoder/wordline array, which is the selected class behind a deep
+address decode) and ``expect_base`` likewise for the baseline (data
+only).  The cam regime (per-bit heterogeneous match comparators held
+behind one shared wordline mux) stresses the backends differently:
+shape hashing fragments it outright (every comparator differs), the
+control-signal technique usually heals it by assigning the shared
+wordline its controlling value, and feature-vector aggregation (the
+``regfeat`` backend) must lean on shared-control features alone — the
+per-backend scoreboard in :mod:`repro.eval.scoreboard` quantifies the
+spread.  The expectation oracle checks
 those labels on every sample; regimes with data-dependent recovery
 (adder carries, concatenations, status/shift registers) are labelled
 ``"any"`` and only participate in the metamorphic oracles.
@@ -77,11 +86,15 @@ REGIMES = (
     "concat",
     "status",
     "shift",
+    "sram",
+    "cam",
 )
 
 #: Regimes the control-signal technique recovers fully by construction.
+#: ``sram`` is the selected-word proof class behind a hierarchical
+#: decoder, so the same controlling-value argument applies.
 OURS_FULL_REGIMES = frozenset(
-    {"data", "counter", "selected", "alternating", "crossed"}
+    {"data", "counter", "selected", "alternating", "crossed", "sram"}
 )
 
 #: Regimes plain shape hashing recovers fully by construction.
@@ -107,15 +120,17 @@ class GeneratorConfig:
     min_conditions: int = 4
     boundary_noise: float = 0.3  # probability of appending decoy registers
     regime_weights: Tuple[Tuple[str, float], ...] = (
-        ("data", 0.20),
-        ("counter", 0.15),
-        ("selected", 0.15),
-        ("alternating", 0.10),
-        ("crossed", 0.10),
-        ("adder", 0.10),
+        ("data", 0.18),
+        ("counter", 0.13),
+        ("selected", 0.13),
+        ("alternating", 0.09),
+        ("crossed", 0.09),
+        ("adder", 0.09),
         ("concat", 0.05),
-        ("status", 0.10),
+        ("status", 0.09),
         ("shift", 0.05),
+        ("sram", 0.05),
+        ("cam", 0.05),
     )
 
     def __post_init__(self):
@@ -345,6 +360,21 @@ def _plan_word(
         return WordPlan(name, regime, width, (cond(), cond()), (off(),))
     if regime == "shift":
         return WordPlan(name, regime, width, (), (), (rng.randrange(6),))
+    if regime == "sram":
+        # Hierarchical decoder + wordline-driver array: the wordline is a
+        # decoded opcode match (deep AND chain), the selected arm is a
+        # column mux whose fallback carries zero-padded bits — the
+        # selected_word proof class behind an SRAM-style address decode.
+        zero_bits = max(1, width // 4)
+        return WordPlan(
+            name, regime, width, (cond(),), (off(), off(), off()),
+            (zero_bits, rng.randrange(16), rng.randrange(4)),
+        )
+    if regime == "cam":
+        # Column-mux/sense-amp bank: every bit holds behind the same
+        # wordline mux, but the captured match line mixes key/tag bits
+        # through per-bit heterogeneous comparators.
+        return WordPlan(name, regime, width, (cond(),), (off(), off()))
     raise AssertionError(f"unplanned regime {regime!r}")
 
 
@@ -519,6 +549,39 @@ def _build_word(
         status_word(m, name, bits)
     elif plan.regime == "shift":
         shift_word(m, name, w, valid & opcode.bit(plan.aux[0] % 6))
+    elif plan.regime == "sram":
+        zero_bits, addr, lo = plan.aux
+        lo %= 4
+        # Dedicated address port (idempotent across sram words).  The
+        # decoder must not share nets with the pool conditions: a shared
+        # opcode bit would sit inside *matching* subtrees and the
+        # pipeline would rightly refuse the wordline assignment — the
+        # crossed_word hazard.
+        address = m.input("addr_bus", 8)
+        wordline = address.slice(lo, lo + 3).eq(Const(addr % 16, 4))
+        z = Concat((
+            _slice_of(bus_b, plan.offsets[2], w - zero_bits),
+            Const(0, zero_bits),
+        ))
+        selected_word(m, name, w, wordline, cond(0), src(0), alt(1), z)
+    elif plan.regime == "cam":
+        wordline = cond(0)
+        key = src(0)
+        tag = alt(1)
+        r = m.register(name, w)
+        q = r.ref()
+        match_bits: List[Expr] = []
+        for i in range(w):
+            if i % 4 == 0:
+                f = key.bit(i) ^ tag.bit(i)
+            elif i % 4 == 1:
+                f = ~(key.bit(i) & tag.bit(i))
+            elif i % 4 == 2:
+                f = key.bit(i) | ~tag.bit(i)
+            else:
+                f = ~(key.bit(i) ^ tag.bit(i))
+            match_bits.append(Mux(wordline, f, q.bit(i)))
+        r.next = Concat(tuple(match_bits))
     else:
         raise AssertionError(f"unbuildable regime {plan.regime!r}")
 

@@ -40,6 +40,11 @@ provably must not care about, re-run, compare:
     digest of a library call.
 ``ours_superset``
     Any reference word FULL under the baseline is FULL under Ours.
+``backend``
+    Resolving ``"ours"`` through the backend registry is byte-identical
+    to running the staged engine directly, and the ``regfeat`` backend
+    emits a deterministic, ground-truth-evaluable partition covering
+    the candidate flip-flop D nets.
 ``expectation``
     The generator's per-regime labels hold (data/counter/selected/
     alternating/crossed ⇒ Ours FULL; data ⇒ Base FULL).
@@ -187,7 +192,15 @@ def verify_reductions(
         sources = list(sub.primary_inputs)
         forced = {n: v for n, v in assignment.items() if n in set(sources)}
         checked = 0
-        for _ in range(vectors * 4):
+        # Internally-assigned nets are satisfied by rejection sampling,
+        # and a legitimate assignment can sit behind a decoded compare
+        # (P(hit) ~ 2^-k for a k-bit decode), so the draw budget must be
+        # generous before "no consistent vector" can mean "infeasible":
+        # at p = 1/64, 4096 draws miss with probability ~1e-28, where a
+        # 4*vectors budget missed one draw in five.  The early exit
+        # keeps the common case at ~``vectors`` evaluations.
+        draws = max(vectors * 4, 4096)
+        for _ in range(draws):
             if checked >= vectors:
                 break
             vec = {net: rng.randint(0, 1) for net in sources}
@@ -208,7 +221,7 @@ def verify_reductions(
         if checked == 0:
             problems.append(
                 f"word {word}: no random vector consistent with {control} "
-                f"in {vectors * 4} draws — assignment looks infeasible"
+                f"in {draws} draws — assignment looks infeasible"
             )
     return problems
 
@@ -381,6 +394,61 @@ def _check_kernel(ctx: OracleContext) -> Optional[str]:
         return "array kernel result digest differs from python reference"
     if array.trace.counter_dict() != python.trace.counter_dict():
         return "array kernel stage counters differ from python reference"
+    return None
+
+
+def _check_backend(ctx: OracleContext) -> Optional[str]:
+    """Registry dispatch ≡ direct engine; regfeat output is well-formed.
+
+    Differential check (a): resolving backend ``"ours"`` through
+    :mod:`repro.core.backends` must be byte-identical — result digest
+    and stage counters — to instantiating the staged
+    :class:`~repro.core.stages.AnalysisEngine` directly.  The dispatch
+    layer is pure plumbing and may not perturb results.
+
+    Functional check (b): the ``regfeat`` backend must emit a valid
+    partition (each bit in at most one word, every bit a real net)
+    covering every candidate flip-flop D net exactly once, must be
+    deterministic across re-runs, and must evaluate cleanly against the
+    sample's ground truth.
+    """
+    from ..core.stages import AnalysisEngine
+    from ..store import result_digest
+
+    direct = AnalysisEngine(ctx.ours_config).run(ctx.sample.netlist)
+    if result_digest(direct) != result_digest(ctx.ours):
+        return "registry-dispatched ours differs from direct AnalysisEngine"
+    if direct.trace.counter_dict() != ctx.ours.trace.counter_dict():
+        return "registry dispatch changed ours stage counters"
+
+    netlist = ctx.sample.netlist
+    regfeat_config = PipelineConfig(depth=ctx.depth, backend="regfeat")
+    first = ctx.identify("regfeat", netlist, regfeat_config)
+    again = identify_words(netlist, regfeat_config)
+    if result_digest(first) != result_digest(again):
+        return "regfeat is not deterministic across re-runs"
+
+    candidates = set()
+    for ff in netlist.flip_flops():
+        candidates.add(ff.inputs[0])
+    seen: Set[str] = set()
+    for word in first.all_generated_words():
+        for bit in word.bits:
+            if bit in seen:
+                return f"regfeat: net {bit} appears in two words"
+            seen.add(bit)
+            if not netlist.has_net(bit):
+                return f"regfeat: word bit {bit} is not a netlist net"
+    if seen != candidates:
+        missing = sorted(candidates - seen)[:3]
+        extra = sorted(seen - candidates)[:3]
+        return (f"regfeat does not cover the candidate FF D nets "
+                f"(missing {missing}, extra {extra})")
+
+    reference = extract_reference_words(netlist)
+    metrics = evaluate(reference, first)
+    if len(metrics.outcomes) != len(reference):
+        return "regfeat evaluation dropped reference words"
     return None
 
 
@@ -577,6 +645,7 @@ DEFAULT_ORACLES: Tuple[Tuple[str, Callable[[OracleContext], Optional[str]]], ...
     ("ours_superset", _check_ours_superset),
     ("jobs", _check_jobs),
     ("kernel", _check_kernel),
+    ("backend", _check_backend),
     ("store", _check_store),
     ("cone_cache", _check_cone_cache),
     ("serve", _check_serve),

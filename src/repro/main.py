@@ -52,6 +52,12 @@ def _serve_main():
     return main
 
 
+def _scoreboard_main():
+    from .eval.scoreboard import main
+
+    return main
+
+
 #: Subcommand name -> (one-line help, loader returning its ``main``).
 COMMANDS: Dict[str, Tuple[str, Callable[[], Callable]]] = {
     "identify": (
@@ -73,6 +79,10 @@ COMMANDS: Dict[str, Tuple[str, Callable[[], Callable]]] = {
     "serve": (
         "run the long-lived analysis HTTP service (alias: repro-serve)",
         _serve_main,
+    ),
+    "scoreboard": (
+        "score identification backends against exact fuzz ground truth",
+        _scoreboard_main,
     ),
 }
 

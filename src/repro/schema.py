@@ -43,7 +43,13 @@ __all__ = ["SCHEMA_VERSION", "PIPELINE_VERSION", "stamp"]
 #: computed the run, see ``repro.core.kernels``) in ``--trace-json`` /
 #: report traces and stored result envelopes, plus the ``BENCH_serve``
 #: load-benchmark report (``scripts/serve_smoke.py --bench``).
-SCHEMA_VERSION = 6
+#: v7: pluggable backends (``repro.core.backends``) — the ``backend``
+#: trace/provenance field in report traces, identify ``--json`` config
+#: blocks, batch rows, and stored result envelopes; the uniform serve
+#: error envelope (``error``/``detail``/``diagnostics`` with field-level
+#: validation records); and the ``scoreboard`` payload
+#: (``repro scoreboard``).
+SCHEMA_VERSION = 7
 
 
 def stamp(payload: Dict) -> Dict:

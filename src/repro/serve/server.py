@@ -272,6 +272,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(fsynced per row, same shape as repro batch --journal)",
     )
     parser.add_argument(
+        "--backend", default="ours",
+        help="default identification backend for requests that do not "
+        "name one (see `repro identify --backend`, default %(default)s)",
+    )
+    parser.add_argument(
+        "--kernel", default=None,
+        help="default signature kernel: python|array|auto (default: "
+        "honour REPRO_KERNEL, else python)",
+    )
+    parser.add_argument(
         "--depth", type=int, default=4, help="fanin-cone depth (default 4)"
     )
     parser.add_argument(
@@ -319,6 +329,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             jobs=args.jobs,
             deadline_s=args.deadline,
             strict=args.strict,
+            allow_partial=args.backend != "base",
+            backend=args.backend,
+            kernel=args.kernel,
             # Match `repro identify`: preflight is in the store
             # fingerprint, so the served POST of a file's bytes hits the
             # cache entry a CLI run on that file committed.

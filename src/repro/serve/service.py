@@ -63,8 +63,147 @@ def _json_response(status: int, payload: Dict) -> Response:
     return Response(status, body)
 
 
-def _error(status: int, error: str, detail: str = "") -> Response:
-    return _json_response(status, stamp({"error": error, "detail": detail}))
+def _error(
+    status: int, error: str, detail: str = "", diagnostics=()
+) -> Response:
+    """The uniform error envelope: ``error`` (a stable machine-readable
+    code), ``detail`` (one human-readable line), and ``diagnostics`` —
+    field-level records (:func:`_field_diag`) for request-validation
+    failures, empty for every other error class."""
+    return _json_response(status, stamp({
+        "error": error,
+        "detail": detail,
+        "diagnostics": list(diagnostics),
+    }))
+
+
+# ----------------------------------------------------------------------
+# structured request validation
+# ----------------------------------------------------------------------
+
+def _field_diag(field: str, message: str) -> Dict[str, str]:
+    """One field-level validation record, shaped like the netlist
+    validator's :class:`~repro.netlist.validate.Diagnostic` dicts so
+    clients can reuse their pre-flight rendering."""
+    return {"field": field, "severity": "error", "message": message}
+
+
+_FORMATS = ("verilog", "bench")
+_KERNEL_NAMES = ("python", "array", "auto")
+#: Fields every analysis request may carry.
+_COMMON_FIELDS = ("deadline_s", "strict", "backend", "kernel")
+#: request-level field sets per endpoint, plus per-item fields for batch.
+_IDENTIFY_FIELDS = _COMMON_FIELDS + (
+    "verilog", "digest", "base_digest", "format", "name",
+)
+_BATCH_FIELDS = _COMMON_FIELDS + ("netlists",)
+_ITEM_FIELDS = ("verilog", "digest", "format", "name")
+
+
+def _validate_source(item: Dict, diags, prefix: str = "") -> None:
+    """Shared checks for anything naming a design (request or batch item)."""
+    digest = item.get("digest")
+    text = item.get("verilog")
+    if "base_digest" not in item and (digest is None) == (text is None):
+        diags.append(_field_diag(
+            prefix + "verilog",
+            "exactly one of 'verilog' or 'digest' is required",
+        ))
+    if digest is not None and not isinstance(digest, str):
+        diags.append(_field_diag(prefix + "digest", "must be a string"))
+    if text is not None and not isinstance(text, str):
+        diags.append(_field_diag(prefix + "verilog", "must be a string"))
+    fmt = item.get("format", "verilog")
+    if fmt not in _FORMATS:
+        diags.append(_field_diag(
+            prefix + "format",
+            f"unknown format {fmt!r}; expected one of {list(_FORMATS)}",
+        ))
+    name = item.get("name")
+    if name is not None and not isinstance(name, str):
+        diags.append(_field_diag(prefix + "name", "must be a string"))
+
+
+def _validate_request(payload: Dict, endpoint: str):
+    """Field-level validation of one ``/v1/identify`` / ``/v1/batch``
+    body; returns :func:`_field_diag` records (empty when valid).
+
+    Unknown fields are rejected rather than ignored — a typoed
+    ``"bakcend"`` silently running the default backend would be a
+    correctness trap, not a convenience.
+    """
+    diags = []
+    allowed = _IDENTIFY_FIELDS if endpoint == "identify" else _BATCH_FIELDS
+    for field in sorted(set(payload) - set(allowed)):
+        diags.append(_field_diag(
+            field, f"unknown field; expected one of {sorted(allowed)}"
+        ))
+    deadline = payload.get("deadline_s")
+    if deadline is not None:
+        if isinstance(deadline, bool) or not isinstance(
+            deadline, (int, float)
+        ):
+            diags.append(_field_diag("deadline_s", "must be a number"))
+        elif deadline <= 0:
+            diags.append(_field_diag("deadline_s", "must be > 0"))
+    strict = payload.get("strict")
+    if strict is not None and not isinstance(strict, bool):
+        diags.append(_field_diag("strict", "must be a boolean"))
+    backend = payload.get("backend")
+    if backend is not None:
+        from ..core.backends import backend_names
+
+        if backend not in backend_names():
+            diags.append(_field_diag(
+                "backend",
+                f"unknown backend {backend!r}; registered backends: "
+                + ", ".join(backend_names()),
+            ))
+    kernel = payload.get("kernel")
+    if kernel is not None and kernel not in _KERNEL_NAMES:
+        diags.append(_field_diag(
+            "kernel",
+            f"unknown kernel {kernel!r}; expected one of "
+            f"{list(_KERNEL_NAMES)}",
+        ))
+    if endpoint == "identify":
+        base_digest = payload.get("base_digest")
+        if base_digest is not None:
+            if not isinstance(base_digest, str):
+                diags.append(_field_diag("base_digest", "must be a string"))
+            if payload.get("verilog") is None:
+                diags.append(_field_diag(
+                    "verilog",
+                    "incremental requests need 'verilog' "
+                    "(the edited source)",
+                ))
+            if payload.get("digest") is not None:
+                diags.append(_field_diag(
+                    "digest", "cannot be combined with 'base_digest'"
+                ))
+        _validate_source(payload, diags)
+    else:
+        items = payload.get("netlists")
+        if not isinstance(items, list) or not items:
+            diags.append(_field_diag(
+                "netlists", "must be a non-empty list"
+            ))
+        else:
+            for index, item in enumerate(items):
+                prefix = f"netlists[{index}]."
+                if not isinstance(item, dict):
+                    diags.append(_field_diag(
+                        prefix.rstrip("."), "must be an object"
+                    ))
+                    continue
+                for field in sorted(set(item) - set(_ITEM_FIELDS)):
+                    diags.append(_field_diag(
+                        prefix + field,
+                        f"unknown field; expected one of "
+                        f"{sorted(_ITEM_FIELDS)}",
+                    ))
+                _validate_source(item, diags, prefix)
+    return diags
 
 
 class AnalysisService:
@@ -73,9 +212,11 @@ class AnalysisService:
     ``session``
         The shared :class:`~repro.api.Session` (configuration + optional
         artifact store).  Every request without overrides runs under its
-        config; requests carrying ``deadline_s`` / ``strict`` get a
-        derived config over the *same* store, so cache keys are unchanged
-        (neither field is in the store fingerprint).
+        config; requests carrying ``deadline_s`` / ``strict`` /
+        ``backend`` / ``kernel`` get a derived config over the *same*
+        store — deadline/strict/kernel leave cache keys unchanged (none
+        is in the store fingerprint), while ``backend`` addresses that
+        backend's own fingerprint space.
     ``workers`` / ``queue_size``
         Admission bounds: concurrent analyses and waiting requests.
     ``default_deadline_s`` / ``strict``
@@ -346,13 +487,42 @@ class AnalysisService:
     # endpoints (run on the worker pool)
     # ------------------------------------------------------------------
     def _request_session(self, payload: Dict) -> Session:
-        """The session a request runs under (overrides share the store)."""
+        """The session a request runs under (overrides share the store).
+
+        ``deadline_s``/``strict``/``kernel`` overrides leave cache keys
+        unchanged (none is in the store fingerprint); a ``backend``
+        override derives a config whose keys land in that backend's own
+        fingerprint space, so per-request backends never cross-contaminate
+        the shared store.
+        """
+        base = self.session.config
         deadline = payload.get("deadline_s", self.default_deadline_s)
         strict = bool(payload.get("strict", self.strict))
-        base = self.session.config
-        if deadline == base.deadline_s and strict == base.strict:
+        backend = payload.get("backend", base.backend)
+        kernel = payload.get("kernel", base.kernel)
+        if (
+            deadline == base.deadline_s
+            and strict == base.strict
+            and backend == base.backend
+            and kernel == base.kernel
+        ):
             return self.session
-        config = replace(base, deadline_s=deadline, strict=strict)
+        # An explicit backend picks its own partial-matching mode; the
+        # "ours"+allow_partial=False spelling would otherwise normalize
+        # back to "base" and shadow the request on a baseline server.
+        allow_partial = (
+            backend != "base"
+            if "backend" in payload
+            else base.allow_partial
+        )
+        config = replace(
+            base,
+            deadline_s=deadline,
+            strict=strict,
+            backend=backend,
+            kernel=kernel,
+            allow_partial=allow_partial,
+        )
         derived = Session(config=config, store=self.session.store)
         return derived
 
@@ -380,6 +550,12 @@ class AnalysisService:
         )
 
     def _identify(self, payload: Dict) -> Response:
+        diagnostics = _validate_request(payload, "identify")
+        if diagnostics:
+            return _error(
+                400, "invalid_request",
+                f"{len(diagnostics)} invalid field(s)", diagnostics,
+            )
         session = self._request_session(payload)
         if payload.get("base_digest") is not None:
             return self._identify_incremental(session, payload)
@@ -421,9 +597,13 @@ class AnalysisService:
         return _json_response(200, incremental.as_dict())
 
     def _batch(self, payload: Dict) -> Response:
-        items = payload.get("netlists")
-        if not isinstance(items, list) or not items:
-            raise ValueError("'netlists' must be a non-empty list")
+        diagnostics = _validate_request(payload, "batch")
+        if diagnostics:
+            return _error(
+                400, "invalid_request",
+                f"{len(diagnostics)} invalid field(s)", diagnostics,
+            )
+        items = payload["netlists"]
         session = self._request_session(payload)
         started = time.perf_counter()
         rows = []

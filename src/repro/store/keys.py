@@ -38,6 +38,7 @@ import hashlib
 import json
 from typing import Dict, Union
 
+from ..core import backends
 from ..core.conecache import (
     CONE_FINGERPRINT_FIELDS,
     CONE_NEUTRAL_FIELDS,
@@ -63,6 +64,10 @@ __all__ = [
 #: PipelineConfig fields that affect a run's output, in fingerprint order.
 #: Adding a result-affecting knob to PipelineConfig must extend this tuple
 #: (tests/store/test_store.py pins the invalidation behaviour).
+#: ``backend`` selects which identification strategy runs, so it is here;
+#: ``kernel`` is deliberately absent — kernels are digest-blind (the
+#: differential kernel suite pins byte-identity), so a python-kernel run
+#: hits an entry an array-kernel run committed.
 FINGERPRINT_FIELDS = (
     "depth",
     "max_simultaneous",
@@ -73,14 +78,23 @@ FINGERPRINT_FIELDS = (
     "max_assignments",
     "max_cone_gates",
     "preflight",
+    "backend",
 )
 
 
 def config_fingerprint(config: PipelineConfig) -> str:
-    """Canonical JSON of the result-affecting configuration fields."""
+    """Canonical JSON of the result-affecting configuration fields.
+
+    Beyond :data:`FINGERPRINT_FIELDS` the document carries the resolved
+    backend's *version* (:mod:`repro.core.backends`): bumping one
+    backend's version orphans only that backend's entries, and two
+    backends — or two versions of one — can never read each other's
+    cached artifacts (DESIGN.md §15 fingerprint discipline).
+    """
     fields: Dict[str, object] = {
         name: getattr(config, name) for name in FINGERPRINT_FIELDS
     }
+    fields["backend_version"] = backends.resolve(config.backend).version
     return json.dumps(fields, sort_keys=True, separators=(",", ":"))
 
 

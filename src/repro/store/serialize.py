@@ -56,6 +56,7 @@ def _trace_to_dict(trace: StageTrace) -> Dict:
     return {
         "counters": trace.counter_dict(),
         "jobs": trace.jobs,
+        "backend": trace.backend,
         "kernel": trace.kernel,
         "stage_seconds": dict(trace.stage_seconds),
         "cache": trace.cache.as_dict(),
@@ -69,8 +70,9 @@ def _trace_from_dict(payload: Dict) -> StageTrace:
         if name in trace.counter_dict():
             setattr(trace, name, value)
     trace.jobs = payload.get("jobs", 1)
-    # Entries persisted before the kernel field existed were computed by
-    # the python reference path.
+    # Entries persisted before the backend/kernel fields existed were
+    # computed by the default technique on the python reference path.
+    trace.backend = payload.get("backend", "ours")
     trace.kernel = payload.get("kernel", "python")
     trace.stage_seconds = dict(payload.get("stage_seconds", {}))
     cache_fields = payload.get("cache", {})

@@ -109,6 +109,7 @@ class TestEngineTrace:
         dumped = result.trace.as_dict()
         assert set(dumped) == {
             "counters",
+            "backend",
             "jobs",
             "kernel",
             "stage_seconds",

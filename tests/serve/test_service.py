@@ -322,3 +322,149 @@ class TestIdentifyIncremental:
             "base_digest": base.json["digest"],
         })
         assert response.status == 400
+
+
+class TestValidation:
+    """Pins the 400 body shape: the uniform error envelope plus
+    field-level Diagnostic-style records (DESIGN.md §15)."""
+
+    def test_error_envelope_shape(self, service, verilog_text):
+        response = service.call(
+            "POST", "/v1/identify", {"verilog": verilog_text, "bogus": 1}
+        )
+        assert response.status == 400
+        body = response.json
+        assert body["error"] == "invalid_request"
+        assert body["detail"] == "1 invalid field(s)"
+        assert set(body) == {
+            "schema_version", "pipeline_version",
+            "error", "detail", "diagnostics",
+        }
+
+    def test_diagnostic_record_shape(self, service, verilog_text):
+        response = service.call(
+            "POST", "/v1/identify", {"verilog": verilog_text, "bogus": 1}
+        )
+        (diag,) = response.json["diagnostics"]
+        assert set(diag) == {"field", "severity", "message"}
+        assert diag["field"] == "bogus"
+        assert diag["severity"] == "error"
+        assert "unknown field" in diag["message"]
+
+    def test_unknown_backend_diagnostic(self, service, verilog_text):
+        response = service.call(
+            "POST", "/v1/identify",
+            {"verilog": verilog_text, "backend": "nope"},
+        )
+        assert response.status == 400
+        (diag,) = response.json["diagnostics"]
+        assert diag["field"] == "backend"
+        assert "unknown backend 'nope'" in diag["message"]
+        for name in ("ours", "base", "regfeat"):
+            assert name in diag["message"]
+
+    def test_unknown_kernel_diagnostic(self, service, verilog_text):
+        response = service.call(
+            "POST", "/v1/identify",
+            {"verilog": verilog_text, "kernel": "cuda"},
+        )
+        assert response.status == 400
+        (diag,) = response.json["diagnostics"]
+        assert diag["field"] == "kernel"
+        assert "unknown kernel" in diag["message"]
+
+    def test_bad_types_collected_not_shortcircuited(self, service,
+                                                    verilog_text):
+        response = service.call("POST", "/v1/identify", {
+            "verilog": verilog_text,
+            "deadline_s": True,     # bool is not a number here
+            "strict": "yes",
+        })
+        assert response.status == 400
+        body = response.json
+        assert body["detail"] == "2 invalid field(s)"
+        fields = {d["field"] for d in body["diagnostics"]}
+        assert fields == {"deadline_s", "strict"}
+
+    def test_batch_item_diagnostics_carry_the_item_prefix(self, service,
+                                                          verilog_text):
+        response = service.call("POST", "/v1/batch", {"netlists": [
+            {"verilog": verilog_text},
+            {"verilog": verilog_text, "oops": 1},
+        ]})
+        assert response.status == 400
+        (diag,) = response.json["diagnostics"]
+        assert diag["field"] == "netlists[1].oops"
+
+    def test_batch_unknown_backend_is_400(self, service, verilog_text):
+        response = service.call("POST", "/v1/batch", {
+            "netlists": [{"verilog": verilog_text}],
+            "backend": "nope",
+        })
+        assert response.status == 400
+        assert response.json["error"] == "invalid_request"
+
+
+class TestRequestBackend:
+    """Per-request backend/kernel selection on both POST endpoints."""
+
+    def test_identify_backend_lands_in_response(self, service,
+                                                verilog_text):
+        response = service.call(
+            "POST", "/v1/identify",
+            {"verilog": verilog_text, "backend": "regfeat"},
+        )
+        assert response.status == 200
+        assert response.json["backend"] == "regfeat"
+
+    def test_base_request_matches_base_server(self, tmp_path,
+                                              verilog_text):
+        from repro.core import PipelineConfig
+
+        ours_service = AnalysisService(
+            Session(store=str(tmp_path / "a")), workers=1, queue_size=2
+        )
+        base_service = AnalysisService(
+            Session(
+                config=PipelineConfig(backend="base"),
+                store=str(tmp_path / "b"),
+            ),
+            workers=1, queue_size=2,
+        )
+        try:
+            overridden = ours_service.call(
+                "POST", "/v1/identify",
+                {"verilog": verilog_text, "backend": "base"},
+            )
+            native = base_service.call(
+                "POST", "/v1/identify", {"verilog": verilog_text}
+            )
+        finally:
+            ours_service.close()
+            base_service.close()
+        assert overridden.status == native.status == 200
+        assert (
+            overridden.json["result_digest"]
+            == native.json["result_digest"]
+        )
+
+    def test_batch_rows_carry_the_backend(self, service, verilog_text):
+        response = service.call("POST", "/v1/batch", {
+            "netlists": [{"verilog": verilog_text}],
+            "backend": "base",
+        })
+        assert response.status == 200
+        assert response.json["rows"][0]["backend"] == "base"
+
+    def test_request_kernel_is_digest_neutral(self, service, verilog_text):
+        default = service.call(
+            "POST", "/v1/identify", {"verilog": verilog_text}
+        )
+        pinned = service.call(
+            "POST", "/v1/identify",
+            {"verilog": verilog_text, "kernel": "python"},
+        )
+        assert default.status == pinned.status == 200
+        assert (
+            default.json["result_digest"] == pinned.json["result_digest"]
+        )

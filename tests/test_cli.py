@@ -93,6 +93,61 @@ class TestErrors:
                      "--max-simultaneous", "1"]) == 0
 
 
+class TestBackendFlag:
+    def test_backend_ours_is_the_default(self, verilog_path, capsys):
+        assert main([verilog_path, "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        report = json.loads(out[out.index("{"):])
+        assert report["config"]["backend"] == "ours"
+        assert report["config"]["technique"] == "ours"
+
+    def test_backend_base_matches_baseline_flag(self, verilog_path, capsys):
+        assert main([verilog_path, "--backend", "base", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        by_backend = json.loads(out[out.index("{"):])
+        assert main([verilog_path, "--baseline", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        by_alias = json.loads(out[out.index("{"):])
+        assert by_backend["config"]["backend"] == "base"
+        assert (
+            by_backend["result_digest"] == by_alias["result_digest"]
+        )
+
+    def test_backend_regfeat_runs(self, verilog_path, capsys):
+        assert main([verilog_path, "--backend", "regfeat"]) == 0
+        assert "feature-vector aggregation" in capsys.readouterr().out
+
+    def test_unknown_backend_exits_2_with_one_line_diagnostic(
+        self, verilog_path, capsys
+    ):
+        assert main([verilog_path, "--backend", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown backend 'nope'" in err
+        for name in ("ours", "base", "regfeat"):
+            assert name in err
+
+    def test_baseline_conflicts_with_other_backend(
+        self, verilog_path, capsys
+    ):
+        assert main(
+            [verilog_path, "--baseline", "--backend", "regfeat"]
+        ) == 2
+        assert "--baseline conflicts" in capsys.readouterr().err
+
+    def test_unknown_kernel_exits_2(self, verilog_path, capsys):
+        assert main([verilog_path, "--kernel", "cuda"]) == 2
+        assert "unknown kernel" in capsys.readouterr().err
+
+    def test_kernel_flag_lands_in_report(self, verilog_path, capsys):
+        assert main(
+            [verilog_path, "--kernel", "python", "--json", "-"]
+        ) == 0
+        out = capsys.readouterr().out
+        report = json.loads(out[out.index("{"):])
+        assert report["config"]["kernel"] == "python"
+
+
 class TestScore:
     def test_no_golden_names_exits_2_with_diagnostic(self, tmp_path, capsys):
         """Regression: --score on an unscoreable netlist used to fall

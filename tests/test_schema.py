@@ -158,12 +158,28 @@ def current_shapes():
             error = service.call("POST", "/v1/identify", {})
             assert error.status == 400
             shapes["serve_error"] = sorted(error.json)
+            invalid = service.call(
+                "POST", "/v1/identify", {"verilog": text, "bogus": 1}
+            )
+            assert invalid.status == 400
+            shapes["serve_validation_diagnostic"] = sorted(
+                invalid.json["diagnostics"][0]
+            )
             health = service.call("GET", "/healthz")
             shapes["serve_healthz"] = sorted(health.json)
             ready = service.call("GET", "/readyz")
             shapes["serve_readyz"] = sorted(ready.json)
         finally:
             service.close()
+
+        # The backend scoreboard payload (`repro scoreboard --json`).
+        from repro.eval.scoreboard import run_scoreboard
+
+        scoreboard = run_scoreboard(samples=1, seed=0)
+        shapes["scoreboard"] = sorted(scoreboard)
+        shapes["scoreboard.backend"] = sorted(
+            next(iter(scoreboard["backends"].values()))
+        )
 
         # The metrics snapshot (`repro batch --metrics-json` / registry).
         registry = MetricsRegistry()
@@ -184,8 +200,8 @@ def load_golden():
 
 
 class TestVersionStamps:
-    def test_schema_version_is_6(self):
-        assert SCHEMA_VERSION == 6
+    def test_schema_version_is_7(self):
+        assert SCHEMA_VERSION == 7
 
     def test_stamp_prepends_current_versions(self):
         stamped = stamp({"x": 1, "schema_version": 999})
