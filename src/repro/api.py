@@ -44,12 +44,19 @@ from .schema import stamp
 from .store import (
     ArtifactStore,
     bytes_digest,
+    cache_key,
     file_digest,
     netlist_digest,
     result_digest,
 )
+from .triage import TriageConfig, TriageResult, triage_netlist
 
-__all__ = ["AnalysisReport", "IncrementalReport", "Session"]
+__all__ = [
+    "AnalysisReport",
+    "IncrementalReport",
+    "Session",
+    "TriageReport",
+]
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -189,6 +196,56 @@ class IncrementalReport:
         })
 
 
+@dataclass(frozen=True)
+class TriageReport:
+    """One Trojan-triage run: the identification plus the gate ranking.
+
+    ``analysis`` is the identification the scores were computed against;
+    ``triage`` the ranking itself.  ``cache`` is the provenance of the
+    *triage* entry (``"hit"``/``"miss"``/``"off"``) — deliberately kept
+    out of :meth:`as_dict`, which contains only deterministic content so
+    a served response is byte-identical to a CLI run on the same inputs,
+    warm or cold, thread pool or process pool.
+    """
+
+    design: str
+    source: Optional[str]
+    digest: str
+    result_digest: str
+    cache: str
+    key: Optional[str]
+    analysis: AnalysisReport = field(compare=False, repr=False)
+    triage: TriageResult = field(compare=False, repr=False)
+
+    @property
+    def backend(self) -> str:
+        return self.triage.backend
+
+    @property
+    def triage_digest(self) -> str:
+        return self.triage.digest()
+
+    def as_dict(self, top: Optional[int] = None) -> Dict:
+        """Versioned, fully deterministic JSON form.
+
+        ``top`` truncates the emitted ranking (the summary counters and
+        ``triage_digest`` still describe the full one).
+        """
+        body = self.triage.as_dict(top)
+        return stamp({
+            "design": self.design,
+            "digest": self.digest,
+            "result_digest": self.result_digest,
+            "backend": body["backend"],
+            "config": body["config"],
+            "num_gates": body["num_gates"],
+            "num_flagged": body["num_flagged"],
+            "degraded": self.analysis.trace.get("degraded", False),
+            "triage_digest": body["triage_digest"],
+            "gates": body["gates"],
+        })
+
+
 class Session:
     """A configured analysis context: config + (optional) artifact store.
 
@@ -291,6 +348,125 @@ class Session:
         netlist = parse_bench(text) if format == "bench" else parse_verilog(text)
         return self._analyze_fresh(netlist, digest, None)
 
+    # ------------------------------------------------------------------
+    # Trojan-region triage
+    # ------------------------------------------------------------------
+    def triage(
+        self,
+        source: Union[PathLike, Netlist],
+        format: Optional[str] = None,
+        triage_config: Optional[TriageConfig] = None,
+    ) -> TriageReport:
+        """Identify words, then rank every gate by anomaly against the
+        recovered structure (:mod:`repro.triage`, DESIGN.md §16).
+
+        Identification goes through the ordinary :meth:`analyze` cache;
+        the ranking itself is additionally cached under the *result*
+        digest, so re-triaging a design whose identification did not
+        change is O(read one JSON file) even across backends and pools.
+        """
+        if isinstance(source, Netlist):
+            netlist = source
+            digest = netlist_digest(netlist)
+            path = None
+        else:
+            path = os.fspath(source)
+            digest = file_digest(path)
+            netlist = self.load_netlist(path, format)
+        return self._triage_netlist(netlist, digest, triage_config, path)
+
+    def triage_text(
+        self,
+        text: str,
+        format: str = "verilog",
+        name: Optional[str] = None,
+        triage_config: Optional[TriageConfig] = None,
+    ) -> TriageReport:
+        """:meth:`triage` over netlist source text (the serve path).
+
+        Shares digests with :meth:`triage` on a file of the same bytes,
+        so served triage requests warm — and are warmed by — CLI runs.
+        """
+        del name  # the netlist's own name labels the report
+        digest = bytes_digest(text.encode("utf-8"))
+        netlist = (
+            parse_bench(text) if format == "bench" else parse_verilog(text)
+        )
+        return self._triage_netlist(netlist, digest, triage_config, None)
+
+    def _triage_netlist(
+        self,
+        netlist: Netlist,
+        digest: str,
+        triage_config: Optional[TriageConfig],
+        source: Optional[str],
+    ) -> TriageReport:
+        triage_config = triage_config or TriageConfig()
+        # Mirror _analyze_path: probe the byte-level digest first, run
+        # fresh otherwise.  Either way the analysis report carries the
+        # *byte-level* digest (not the canonical ``netlist:`` one), so
+        # triage rows digest-match their plain-analysis counterparts and
+        # the parsed body is committed for digest-only /v1/triage calls.
+        analysis = self._probe(digest, source=source, fallback_name=source)
+        if analysis is None:
+            analysis = self._analyze_fresh(netlist, digest, source)
+        elif self.store is not None:
+            # A result cached before this design ever went through the
+            # byte-digest path may lack the body alias — commit it so
+            # Session.triage_digest can find the structure later.
+            self.store.commit_netlist(digest, netlist)
+        rd = analysis.result_digest
+        key = None
+        cache = "off"
+        triage = None
+        if self.store is not None:
+            # Keyed by the identification's result digest (plus the
+            # netlist digest — triage reads structure the result alone
+            # does not pin) and the triage config fingerprint.
+            key = cache_key(
+                f"{digest}\x00{rd}", _triage_fingerprint(triage_config),
+                kind="triage",
+            )
+            envelope = self.store.get(key)
+            if envelope is not None:
+                try:
+                    triage = TriageResult.from_dict(envelope["triage"])
+                    cache = "hit"
+                except (KeyError, TypeError, ValueError):
+                    triage = None
+        if triage is None:
+            triage = triage_netlist(netlist, analysis.result, triage_config)
+            if self.store is not None:
+                if analysis.result.trace.degraded:
+                    # A degraded identification is an environment
+                    # artifact, not a property of the design — like
+                    # degraded results, its triage is never persisted.
+                    cache = "off"
+                    key = None
+                else:
+                    self.store.put(key, "triage", {
+                        "digest": digest,
+                        "result_digest": rd,
+                        "config": _triage_fingerprint(triage_config),
+                        "triage": triage.as_dict(),
+                    })
+                    cache = "miss"
+        registry = _metrics.current()
+        if registry is not None:
+            registry.counter(
+                "repro_triage_runs_total", "Completed triage rankings"
+            ).inc()
+        return TriageReport(
+            design=netlist.name,
+            source=source,
+            digest=digest,
+            result_digest=rd,
+            cache=cache,
+            key=key,
+            analysis=analysis,
+            triage=triage,
+        )
+
     def analyze_incremental(
         self,
         base_digest: str,
@@ -379,6 +555,27 @@ class Session:
                 else parse_verilog(source)
             )
         return self.load_netlist(source, format)
+
+    def triage_digest(
+        self,
+        digest: str,
+        triage_config: Optional[TriageConfig] = None,
+    ) -> Optional[TriageReport]:
+        """:meth:`triage` for an already-stored content digest, if any.
+
+        The serve fast path: a client that knows its design's digest
+        skips shipping the netlist body.  Unlike :meth:`analyze_digest`
+        this needs the parsed *body* (triage reads structure the cached
+        result alone does not pin), so it answers ``None`` unless the
+        store holds the netlist itself — which every store-backed
+        analyze/triage run commits.
+        """
+        if self.store is None:
+            return None
+        netlist = self.store.probe_netlist(digest)
+        if netlist is None:
+            return None
+        return self._triage_netlist(netlist, digest, triage_config, None)
 
     def analyze_digest(self, digest: str) -> Optional[AnalysisReport]:
         """The cached report for an already-known content digest, if any.
@@ -626,6 +823,15 @@ def _dirty_closure(
                 dirty.add(gate.output)
                 stack.append(gate.output)
     return dirty
+
+
+def _triage_fingerprint(config: TriageConfig) -> str:
+    """Canonical fingerprint of the triage-affecting configuration."""
+    import json
+
+    return json.dumps(
+        config.as_dict(), sort_keys=True, separators=(",", ":")
+    )
 
 
 def _design_name(path: str) -> str:

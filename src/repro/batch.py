@@ -47,6 +47,7 @@ from .eval.metrics import evaluate
 from .eval.reference import extract_reference_words
 from .eval.runner import append_journal_entry, load_journal_entries
 from .schema import stamp
+from .exitcodes import EXIT_DEGRADED, EXIT_OK, EXIT_USAGE
 from .store import file_digest
 
 __all__ = [
@@ -61,11 +62,6 @@ __all__ = [
 #: Journal path used by ``--resume`` when ``--journal`` is not given.
 DEFAULT_JOURNAL = "batch.journal.jsonl"
 
-#: Exit code of ``repro batch`` when the run completed but had to
-#: quarantine rows (the aggregate carries ``degraded: true``).  Distinct
-#: from 0 (clean) and 2 (usage error) so scripted callers can tell
-#: "partial but trustworthy" from both.
-EXIT_DEGRADED = 5
 
 #: A row is tried this many times before it is quarantined: the first
 #: failure is retried once on a rebuilt pool, the second is final.
@@ -133,8 +129,29 @@ def _cone_cache_summary(report: AnalysisReport) -> Dict:
     }
 
 
+def _triage_summary(treport, top: int = 10) -> Dict:
+    """One design's Trojan-triage digest for its corpus row.
+
+    Compact by design — the full ranking lives in the store under the
+    triage cache key; the row carries enough to rank designs against
+    each other (flag counts) and to fetch or verify the full ranking
+    (``triage_digest``).
+    """
+    triage = treport.triage
+    return {
+        "backend": triage.backend,
+        "num_flagged": triage.num_flagged,
+        "threshold": triage.config.threshold,
+        "triage_digest": triage.digest(),
+        "top": [[s.gate, s.score] for s in triage.top(top)],
+    }
+
+
 def _row_from_report(
-    report: AnalysisReport, score: Optional[Dict], wall_seconds: float
+    report: AnalysisReport,
+    score: Optional[Dict],
+    wall_seconds: float,
+    triage: Optional[Dict] = None,
 ) -> Dict:
     """One design's journal row / report entry."""
     return stamp({
@@ -157,6 +174,7 @@ def _row_from_report(
         "runtime_seconds": report.runtime_seconds,
         "wall_seconds": wall_seconds,
         "score": score,
+        "triage": triage,
     })
 
 
@@ -184,6 +202,7 @@ def _corpus_task(
     config: PipelineConfig,
     store_root: Optional[str],
     score: bool,
+    triage: bool = False,
 ) -> Dict:
     """Analyze one corpus file (runs inline or in a worker process)."""
     if _faults.fire("batch.worker.crash", path):
@@ -193,9 +212,17 @@ def _corpus_task(
         time.sleep(hang.delay)
     started = time.perf_counter()
     session = Session(config=config, store=store_root)
-    report = session.analyze(path)
+    if triage:
+        treport = session.triage(path)
+        report = treport.analysis
+        triaged = _triage_summary(treport)
+    else:
+        report = session.analyze(path)
+        triaged = None
     scored = _score_report(session, report) if score else None
-    return _row_from_report(report, scored, time.perf_counter() - started)
+    return _row_from_report(
+        report, scored, time.perf_counter() - started, triaged
+    )
 
 
 def _quarantine_row(path: str, reason: str, detail: str, attempts: int) -> Dict:
@@ -332,6 +359,7 @@ def _pool_round(
     jobs: int,
     row_timeout: Optional[float],
     on_done,
+    triage: bool = False,
 ) -> List[Tuple[int, str, str, str]]:
     """Run one process pool over ``pending``; returns the failures.
 
@@ -348,7 +376,7 @@ def _pool_round(
     pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
     try:
         futures = {
-            pool.submit(_corpus_task, path, config, store, score):
+            pool.submit(_corpus_task, path, config, store, score, triage):
             (index, path)
             for index, path in pending
         }
@@ -415,6 +443,7 @@ def analyze_corpus(
     score: bool = False,
     on_row=None,
     row_timeout: Optional[float] = None,
+    triage: bool = False,
 ) -> BatchReport:
     """Analyze every path; returns rows in input order plus the aggregate.
 
@@ -455,6 +484,8 @@ def analyze_corpus(
             entry is not None
             and not entry.get("quarantined")
             and entry.get("digest") == file_digest(path)
+            # A --triage resume cannot reuse rows journaled without one.
+            and not (triage and entry.get("triage") is None)
         ):
             entry = dict(entry)
             entry["cache"] = "journal"
@@ -477,7 +508,8 @@ def analyze_corpus(
     if jobs > 1 and len(pending) > 1:
         while pending:
             failures = _pool_round(
-                pending, config, store, score, jobs, row_timeout, record
+                pending, config, store, score, jobs, row_timeout, record,
+                triage,
             )
             retry: List[Tuple[int, str]] = []
             for index, path, reason, detail in failures:
@@ -500,12 +532,12 @@ def analyze_corpus(
     else:
         for index, path in pending:
             try:
-                row = _corpus_task(path, config, store, score)
+                row = _corpus_task(path, config, store, score, triage)
             except Exception as exc:
                 # Serial retry once, then quarantine — the inline
                 # analogue of the pool's rebuild-and-retry.
                 try:
-                    row = _corpus_task(path, config, store, score)
+                    row = _corpus_task(path, config, store, score, triage)
                 except Exception:
                     attempts[index] = MAX_ROW_ATTEMPTS
                     record(index, _quarantine_row(
@@ -603,6 +635,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also score each design against its golden register names",
     )
     parser.add_argument(
+        "--triage",
+        action="store_true",
+        help="also rank each design's gates by Trojan-region anomaly "
+        "(repro triage); rows gain a compact triage summary and the "
+        "full rankings are cached in the store",
+    )
+    parser.add_argument(
         "--journal",
         metavar="PATH",
         default=None,
@@ -641,7 +680,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     paths = list(args.paths)
     if args.corpus_dir is not None:
         for pattern in ("*.v", "*.bench"):
@@ -655,11 +694,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "error: empty corpus (give paths, --corpus-dir, or --itc99)",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     missing = [path for path in paths if not os.path.exists(path)]
     if missing:
         print(f"error: cannot read {missing[0]}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     try:
         config = PipelineConfig(
             depth=args.depth,
@@ -670,7 +709,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     journal = args.journal
     if args.resume and journal is None:
         journal = DEFAULT_JOURNAL
@@ -695,9 +734,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
         else:
+            triaged = row.get("triage")
+            suffix = (
+                f", {triaged['num_flagged']} gates flagged"
+                if triaged is not None
+                else ""
+            )
             print(
                 f"{row['design']}: {row['num_words']} words, "
-                f"{row['cache']}, {row['wall_seconds']:.2f}s"
+                f"{row['cache']}, {row['wall_seconds']:.2f}s{suffix}"
             )
 
     report = analyze_corpus(
@@ -710,6 +755,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         score=args.score,
         on_row=announce,
         row_timeout=args.row_timeout,
+        triage=args.triage,
     )
     agg = report.aggregate
     print(
@@ -747,7 +793,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             with open(args.metrics_json, "w", encoding="utf-8") as handle:
                 handle.write(payload + "\n")
-    return EXIT_DEGRADED if report.aggregate["degraded"] else 0
+    return EXIT_DEGRADED if report.aggregate["degraded"] else EXIT_OK
 
 
 if __name__ == "__main__":

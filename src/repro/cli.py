@@ -44,6 +44,7 @@ from .core.propagation import propagate_words
 from .core.resilience import BudgetExceeded, PreflightError
 from .core.words import IdentificationResult
 from .eval import evaluate, extract_reference_words
+from .exitcodes import EXIT_CHECK_FAILED, EXIT_OK, EXIT_STRICT, EXIT_USAGE
 from .netlist import parse_bench, parse_verilog
 from .netlist.bench import BenchError
 from .netlist.verilog import VerilogError
@@ -268,15 +269,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     try:
         netlist = _load(args.netlist, args.format)
     except OSError as exc:
         print(f"error: cannot read {args.netlist}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     except (VerilogError, BenchError) as exc:
         print(f"error: cannot parse {args.netlist}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     backend = args.backend
     if args.baseline:
@@ -285,7 +286,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"error: --baseline conflicts with --backend {backend}",
                 file=sys.stderr,
             )
-            return 2
+            return EXIT_USAGE
         backend = "base"
     try:
         config = PipelineConfig(
@@ -303,7 +304,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     store = None
     if args.store is not None:
         from .store import ArtifactStore
@@ -313,12 +314,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         result = identify_words(netlist, config, store=store)
     except (BudgetExceeded, PreflightError) as exc:
         print(f"error (strict): {exc}", file=sys.stderr)
-        return 3
+        return EXIT_STRICT
     except Exception as exc:
         if not args.strict:
             raise
         print(f"error (strict): {type(exc).__name__}: {exc}", file=sys.stderr)
-        return 3
+        return EXIT_STRICT
 
     derived = None
     operators = None
@@ -381,7 +382,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"has no *_reg_<i> register names to derive them from",
                 file=sys.stderr,
             )
-            return 2
+            return EXIT_USAGE
         metrics = evaluate(reference, result)
         print(
             f"score vs {len(reference)} golden words: "
@@ -402,7 +403,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   file=sys.stderr)
             for problem in problems:
                 print(f"  {problem}", file=sys.stderr)
-            return 4
+            return EXIT_CHECK_FAILED
         print(f"reduction check: {checked} committed assignment(s) "
               f"verified functionally")
 
@@ -427,7 +428,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             with open(args.json, "w") as handle:
                 handle.write(payload + "\n")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

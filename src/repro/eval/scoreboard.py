@@ -19,16 +19,20 @@ payload is schema-stamped (``kind: "scoreboard"``).
 from __future__ import annotations
 
 import argparse
+import bisect
 import json
 import sys
+from dataclasses import replace as dc_replace
 from typing import Dict, List, Optional, Sequence
 
 from ..core.backends import UnknownBackendError, backend_names, resolve
 from ..core.pipeline import PipelineConfig, identify_words
 from ..eval.metrics import FULL, NOT_FOUND, PARTIAL, evaluate
 from ..eval.reference import extract_reference_words
+from ..exitcodes import EXIT_OK, EXIT_USAGE
 from ..fuzz.generator import GeneratorConfig, generate, sample_seed
 from ..schema import stamp
+from ..triage import triage_netlist
 from .runner import append_journal_entry, load_journal_entries
 
 __all__ = [
@@ -50,17 +54,118 @@ def _sample_key(campaign_seed: int, index: int) -> str:
     return f"{campaign_seed}:{index}"
 
 
+# ----------------------------------------------------------------------
+# Trojan-triage ROC scoring (repro scoreboard --triage)
+# ----------------------------------------------------------------------
+
+def _roc_auc(
+    positives: Sequence[float], negatives: Dict[str, int]
+) -> Optional[float]:
+    """Exact ROC AUC from positive scores + a negative-score histogram.
+
+    AUC is the probability a uniformly drawn (trojan, normal) gate pair
+    is ranked correctly, ties counting half — computed directly from the
+    Mann-Whitney statistic, no threshold sweep.  ``negatives`` maps the
+     6-decimal score spelling (the journal form) to its gate count.
+    ``None`` when either class is empty (AUC is undefined, not zero).
+    """
+    if not positives or not negatives:
+        return None
+    binned = sorted((float(score), count) for score, count in negatives.items())
+    scores = [score for score, _ in binned]
+    cumulative = [0]
+    for _, count in binned:
+        cumulative.append(cumulative[-1] + count)
+    total = cumulative[-1]
+    wins = 0.0
+    for p in positives:
+        lo = bisect.bisect_left(scores, p)
+        hi = bisect.bisect_right(scores, p)
+        wins += cumulative[lo] + 0.5 * (cumulative[hi] - cumulative[lo])
+    return wins / (len(positives) * total)
+
+
+def _triage_section(sample, result, trojan_gates) -> Dict:
+    """One backend's triage scorecard on one sample — the journal form.
+
+    Carries the trojan-gate scores and a histogram of everything else
+    (scores are already rounded to 6 decimals, and smoothing makes heavy
+    ties, so the histogram is small), which is exactly enough to fold an
+    *exact* pooled ROC across the whole campaign from journal rows alone.
+    """
+    triage = triage_netlist(sample.netlist, result)
+    positives: List[float] = []
+    negatives: Dict[str, int] = {}
+    for entry in triage.scores:
+        if entry.gate in trojan_gates:
+            positives.append(entry.score)
+        else:
+            key = f"{entry.score:.6f}"
+            negatives[key] = negatives.get(key, 0) + 1
+    n = triage.num_gates
+    top = {entry.gate for entry in triage.top(max(1, n // 10))}
+    return {
+        "gates": n,
+        "trojan_gates": len(positives),
+        "auc": _roc_auc(positives, negatives),
+        "top_decile": sum(1 for gate in trojan_gates if gate in top),
+        "positives": sorted(positives),
+        "negatives": negatives,
+    }
+
+
+def _aggregate_triage(
+    rows: Sequence[Dict], name: str
+) -> Optional[Dict]:
+    """Fold per-sample triage sections into one backend's ROC summary."""
+    sections = [
+        row["backends"][name]["triage"]
+        for row in rows
+        if "triage" in row["backends"].get(name, {})
+    ]
+    if not sections:
+        return None
+    positives: List[float] = []
+    negatives: Dict[str, int] = {}
+    per_sample: List[float] = []
+    trojan_gates = 0
+    top_decile = 0
+    for section in sections:
+        positives.extend(section["positives"])
+        for score, count in section["negatives"].items():
+            negatives[score] = negatives.get(score, 0) + count
+        trojan_gates += section["trojan_gates"]
+        top_decile += section["top_decile"]
+        if section["auc"] is not None:
+            per_sample.append(section["auc"])
+    return {
+        "samples": len(sections),
+        "trojan_samples": len(per_sample),
+        "trojan_gates": trojan_gates,
+        "auc": _roc_auc(positives, negatives),
+        "auc_mean": (
+            sum(per_sample) / len(per_sample) if per_sample else None
+        ),
+        "auc_min": min(per_sample) if per_sample else None,
+        "top_decile_rate": (
+            top_decile / trojan_gates if trojan_gates else 0.0
+        ),
+    }
+
+
 def _score_sample(
     campaign_seed: int,
     index: int,
     backends: Sequence[str],
     depth: int,
     config: GeneratorConfig,
+    triage: bool = False,
 ) -> Dict:
     """One journal row: every backend scored on one generated sample."""
     sample = generate(sample_seed(campaign_seed, index), config)
     reference = extract_reference_words(sample.netlist, min_width=2)
     regime_of = {w.register: w.regime for w in sample.truth}
+    trojan_gates = set(sample.trojan_gates)
     row: Dict = {
         "sample": _sample_key(campaign_seed, index),
         "seed": sample.seed,
@@ -83,10 +188,13 @@ def _score_sample(
                 "status": outcome.status,
                 "fragmentation_rate": outcome.fragmentation_rate,
             })
-        row["backends"][name] = {
+        scored = {
             "outcomes": outcomes,
             "runtime_seconds": result.runtime_seconds,
         }
+        if triage:
+            scored["triage"] = _triage_section(sample, result, trojan_gates)
+        row["backends"][name] = scored
     return row
 
 
@@ -128,6 +236,7 @@ def _aggregate(rows: Sequence[Dict], backends: Sequence[str]) -> Dict:
             ),
             "runtime_seconds": runtime,
             "regimes": {r: regimes[r] for r in sorted(regimes)},
+            "triage": _aggregate_triage(rows, name),
         }
     return boards
 
@@ -140,29 +249,46 @@ def run_scoreboard(
     journal: Optional[str] = None,
     generator_config: GeneratorConfig = GeneratorConfig(),
     progress=None,
+    triage: bool = False,
 ) -> Dict:
     """Score ``backends`` over ``samples`` generated designs.
 
     Returns the schema-stamped scoreboard payload.  With ``journal``,
     per-sample rows are appended as they complete and rows already
     journaled (matching campaign seed and index) are not re-run.
+
+    ``triage`` additionally runs the Trojan-region triage scorer
+    (:mod:`repro.triage`) per backend per sample and folds an exact
+    pooled ROC AUC into each backend's board; unless the caller already
+    armed ``generator_config.trojan_rate``, every sample is injected
+    with plan-drawn Trojans so the positive class is never empty.
     """
     for name in backends:
         resolve(name)  # fail fast, before any synthesis work
+    if triage and not generator_config.trojan_rate:
+        generator_config = dc_replace(generator_config, trojan_rate=1.0)
     completed: Dict[str, Dict] = {}
     if journal:
         for key, entry in load_journal_entries(journal, key="sample").items():
             # Only rows from this campaign that cover every requested
             # backend count as done; others re-run (superseding appends).
-            if entry.get("backends", {}).keys() >= set(backends):
-                completed[key] = entry
+            # A --triage campaign also needs each backend's triage
+            # section — rows journaled without one are re-scored.
+            scored = entry.get("backends", {})
+            if scored.keys() < set(backends):
+                continue
+            if triage and any(
+                "triage" not in scored[name] for name in backends
+            ):
+                continue
+            completed[key] = entry
     rows: List[Dict] = []
     for index in range(samples):
         key = _sample_key(seed, index)
         row = completed.get(key)
         if row is None:
             row = _score_sample(
-                seed, index, backends, depth, generator_config
+                seed, index, backends, depth, generator_config, triage
             )
             if journal:
                 append_journal_entry(journal, row)
@@ -180,6 +306,7 @@ def run_scoreboard(
         "campaign_seed": seed,
         "samples": samples,
         "depth": depth,
+        "triage": triage,
         "regimes_present": regimes_present,
         "backends": _aggregate(rows, backends),
     })
@@ -202,6 +329,28 @@ def render_scoreboard(payload: Dict) -> str:
             f"{board['pct_not_found']:>9.1f}  "
             f"{board['runtime_seconds']:>8.2f}"
         )
+    if any(board.get("triage") for board in payload["backends"].values()):
+        lines.append("")
+        lines.append("trojan triage (ROC over injected trojan gates):")
+        lines.append(
+            f"{'backend':<10} {'auc':>7} {'mean':>7} {'min':>7} "
+            f"{'top-decile':>11} {'trojans':>8}"
+        )
+        for name, board in payload["backends"].items():
+            summary = board.get("triage")
+            if not summary:
+                continue
+
+            def fmt(value):
+                return f"{value:.3f}" if value is not None else "n/a"
+
+            lines.append(
+                f"{name:<10} {fmt(summary['auc']):>7} "
+                f"{fmt(summary['auc_mean']):>7} "
+                f"{fmt(summary['auc_min']):>7} "
+                f"{summary['top_decile_rate']:>11.1%} "
+                f"{summary['trojan_gates']:>8}"
+            )
     lines.append("")
     lines.append("full-found words per regime:")
     regimes = payload["regimes_present"]
@@ -244,6 +393,12 @@ def _parser() -> argparse.ArgumentParser:
         help="fanin-cone depth for every backend (default %(default)s)",
     )
     parser.add_argument(
+        "--triage",
+        action="store_true",
+        help="inject plan-drawn Trojans into every sample and score the "
+        "triage ranking per backend (pooled ROC AUC over trojan gates)",
+    )
+    parser.add_argument(
         "--journal", metavar="PATH", default=None,
         help="append per-sample JSONL rows here and resume completed "
         "samples on re-run",
@@ -266,14 +421,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             resolve(name)
     except UnknownBackendError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if not backends:
         print(
             "error: --backends named no backend; registered backends: "
             + ", ".join(backend_names()),
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
 
     def progress(done: int, total: int) -> None:
         print(f"\rscored {done}/{total} samples", end="", file=sys.stderr)
@@ -287,6 +442,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         depth=args.depth,
         journal=args.journal,
         progress=progress if sys.stderr.isatty() else None,
+        triage=args.triage,
     )
     if args.json == "-":
         json.dump(payload, sys.stdout, indent=2, sort_keys=True)
@@ -297,7 +453,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 json.dump(payload, handle, indent=2, sort_keys=True)
                 handle.write("\n")
         print(render_scoreboard(payload))
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

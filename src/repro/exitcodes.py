@@ -1,0 +1,42 @@
+"""Process exit codes shared by every ``repro`` command.
+
+One namespace for the exit contract the CLIs (identify, batch, serve,
+fuzz, scoreboard, triage) had been restating as scattered literals:
+
+======  ====================  ============================================
+code    name                  meaning
+======  ====================  ============================================
+0       ``EXIT_OK``           completed; results are trustworthy
+1       ``EXIT_FAILURE``      the tool itself failed (oracle failure,
+                              fatal serve error)
+2       ``EXIT_USAGE``        bad invocation or unreadable/unparsable
+                              input — nothing was analyzed
+3       ``EXIT_STRICT``       ``--strict`` turned a degradation into an
+                              abort (budget, deadline, pre-flight)
+4       ``EXIT_CHECK_FAILED`` an explicit verification pass found a
+                              functional problem (``--verify-reductions``)
+5       ``EXIT_DEGRADED``     analysis completed but some results are
+                              partial; automation must not treat the run
+                              as clean
+======  ====================  ============================================
+
+Scripts should import the names, not repeat the numbers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_FAILURE",
+    "EXIT_USAGE",
+    "EXIT_STRICT",
+    "EXIT_CHECK_FAILED",
+    "EXIT_DEGRADED",
+]
+
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_STRICT = 3
+EXIT_CHECK_FAILED = 4
+EXIT_DEGRADED = 5

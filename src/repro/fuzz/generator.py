@@ -42,7 +42,7 @@ registers that imitate word-bit cones (word-boundary obfuscation).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..eval.reference import extract_reference_words
@@ -59,6 +59,7 @@ from ..synth.designs.common import (
 )
 from ..synth.flow import synthesize
 from ..synth.rtl import Concat, Const, Expr, Module, Mux
+from ..synth.trojan import TrojanSpec, insert_trojan
 
 __all__ = [
     "REGIMES",
@@ -119,6 +120,16 @@ class GeneratorConfig:
     max_conditions: int = 8
     min_conditions: int = 4
     boundary_noise: float = 0.3  # probability of appending decoy registers
+    #: Probability of arming a sample with rare-trigger Trojans
+    #: (:func:`repro.synth.trojan.insert_trojan`, inserted after synthesis
+    #: with exact gate-level labels).  Off by default: the expectation
+    #: oracles assume untampered designs, and a spliced payload can
+    #: legitimately defeat recovery of its victim's word.  The triage
+    #: evaluation (``repro scoreboard --triage``) turns it on.
+    trojan_rate: float = 0.0
+    max_trojans: int = 2
+    trojan_min_width: int = 3
+    trojan_max_width: int = 5
     regime_weights: Tuple[Tuple[str, float], ...] = (
         ("data", 0.18),
         ("counter", 0.13),
@@ -144,6 +155,14 @@ class GeneratorConfig:
         unknown = {r for r, _ in self.regime_weights} - set(REGIMES)
         if unknown:
             raise ValueError(f"unknown regimes in weights: {sorted(unknown)}")
+        if not 0.0 <= self.trojan_rate <= 1.0:
+            raise ValueError("trojan_rate must be in [0, 1]")
+        if self.max_trojans < 1:
+            raise ValueError("max_trojans must be >= 1")
+        if not 2 <= self.trojan_min_width <= self.trojan_max_width:
+            raise ValueError(
+                "need 2 <= trojan_min_width <= trojan_max_width"
+            )
 
 
 @dataclass(frozen=True)
@@ -175,6 +194,9 @@ class SamplePlan:
     words: Tuple[WordPlan, ...]
     separators: Tuple[Tuple[int, int, int], ...]  # (form, cond, bus bit)
     decoys: Tuple[Tuple[int, int], ...] = ()  # (cond, bus bit) appended
+    #: Rare-trigger Trojans to splice in after synthesis, as
+    #: (trigger_width, insertion seed) pairs; empty for clean samples.
+    trojans: Tuple[Tuple[int, int], ...] = ()
 
     def as_dict(self) -> Dict:
         return {
@@ -195,6 +217,7 @@ class SamplePlan:
             ],
             "separators": [list(s) for s in self.separators],
             "decoys": [list(d) for d in self.decoys],
+            "trojans": [list(t) for t in self.trojans],
         }
 
     @classmethod
@@ -217,6 +240,7 @@ class SamplePlan:
             ),
             separators=tuple(tuple(s) for s in data["separators"]),
             decoys=tuple(tuple(d) for d in data.get("decoys", ())),
+            trojans=tuple(tuple(t) for t in data.get("trojans", ())),
         )
 
 
@@ -239,15 +263,27 @@ class TrueWord:
 
 @dataclass
 class FuzzSample:
-    """A generated netlist plus its exact word-level ground truth."""
+    """A generated netlist plus its exact word-level ground truth.
+
+    ``trojan_specs`` records every Trojan spliced in (empty for clean
+    samples); ``trojan_gates`` flattens their gate names — the exact
+    positive labels the triage ROC evaluation scores against.
+    """
 
     plan: SamplePlan
     netlist: Netlist
     truth: Tuple[TrueWord, ...]
+    trojan_specs: Tuple["TrojanSpec", ...] = ()
 
     @property
     def seed(self) -> int:
         return self.plan.seed
+
+    @property
+    def trojan_gates(self) -> Tuple[str, ...]:
+        return tuple(
+            gate for spec in self.trojan_specs for gate in spec.gates
+        )
 
     def words_by_name(self) -> Dict[str, TrueWord]:
         return {w.register: w for w in self.truth}
@@ -400,6 +436,20 @@ def plan_sample(seed: int, config: GeneratorConfig = GeneratorConfig()) -> Sampl
             (rng.randrange(len(conditions)), rng.randrange(config.bus_width))
             for _ in range(rng.randint(1, 4))
         )
+    # Trojans are drawn last, and only when armed: a clean-config plan
+    # consumes exactly the historical rng sequence, so enabling
+    # ``trojan_rate`` on a new campaign never perturbs existing corpora.
+    trojans: Tuple[Tuple[int, int], ...] = ()
+    if config.trojan_rate and rng.random() < config.trojan_rate:
+        trojans = tuple(
+            (
+                rng.randint(
+                    config.trojan_min_width, config.trojan_max_width
+                ),
+                rng.randrange(1 << 31),
+            )
+            for _ in range(rng.randint(1, config.max_trojans))
+        )
     return SamplePlan(
         seed=seed,
         bus_width=config.bus_width,
@@ -408,6 +458,7 @@ def plan_sample(seed: int, config: GeneratorConfig = GeneratorConfig()) -> Sampl
         words=words,
         separators=separators,
         decoys=decoys,
+        trojans=trojans,
     )
 
 
@@ -666,10 +717,55 @@ def _derive_truth(plan: SamplePlan, netlist: Netlist) -> Tuple[TrueWord, ...]:
     return tuple(truth)
 
 
+def _forward_reach(netlist: Netlist, roots: set) -> set:
+    """Nets reachable from ``roots`` through combinational gates only."""
+    reached = set(roots)
+    worklist = list(roots)
+    while worklist:
+        net = worklist.pop()
+        for gate in netlist.fanouts(net):
+            if gate.is_ff or gate.output in reached:
+                continue
+            reached.add(gate.output)
+            worklist.append(gate.output)
+    return reached
+
+
 def build_sample(plan: SamplePlan) -> FuzzSample:
-    """Build, synthesize and label one sample from its plan."""
+    """Build, synthesize, (optionally) tamper with, and label one sample.
+
+    Trojans are spliced in *after* synthesis — the threat model is a
+    malicious CAD step — and the word truth is derived after that, so a
+    payload rewiring a register's D pin is reflected in the labels.
+    """
     netlist = synthesize(build_module(plan))
-    return FuzzSample(plan=plan, netlist=netlist, truth=_derive_truth(plan, netlist))
+    specs = tuple(
+        insert_trojan(
+            netlist, trigger_width=width, seed=troj_seed,
+            prefix=f"_troj{index}",
+        )
+        for index, (width, troj_seed) in enumerate(plan.trojans)
+    )
+    truth = _derive_truth(plan, netlist)
+    if specs:
+        # Everything combinationally downstream of a payload has a
+        # tampered fanin cone — those words are no longer the clean
+        # construction the regime labels promise recovery for.
+        tainted = _forward_reach(
+            netlist, {spec.payload_output for spec in specs}
+        )
+        truth = tuple(
+            dc_replace(word, expect_ours="any", expect_base="any")
+            if set(word.bits) & tainted
+            else word
+            for word in truth
+        )
+    return FuzzSample(
+        plan=plan,
+        netlist=netlist,
+        truth=truth,
+        trojan_specs=specs,
+    )
 
 
 def generate(

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.resilience import Deadline
+from ..exitcodes import EXIT_FAILURE, EXIT_OK
 from ..netlist.verilog import write_verilog
 from .generator import (
     FuzzSample,
@@ -369,11 +370,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"mutation {options.mutate}: "
               f"{'caught' if caught else 'MISSED'} "
               f"({len(report.failures)}/{len(report.results)} samples)")
-        return 0 if caught else 1
+        return EXIT_OK if caught else EXIT_FAILURE
 
     report = run_campaign(config, log=say)
     print(report.summary())
-    return 0 if report.passed else 1
+    return EXIT_OK if report.passed else EXIT_FAILURE
 
 
 if __name__ == "__main__":

@@ -31,6 +31,10 @@ provably must not care about, re-run, compare:
     The vectorized array kernel (:mod:`repro.core.kernels`) ≡ the python
     reference path: identical result digest and stage counters on every
     sample.  Skipped (vacuously passing) when numpy is unavailable.
+``triage``
+    Trojan triage (:mod:`repro.triage`) is deterministic across re-runs
+    and its ``(position, score)`` ranking is invariant under hostile
+    renaming — no anomaly feature may read name spelling.
 
 *Differential* — compare techniques/labels:
 
@@ -627,6 +631,46 @@ def _check_cone_cache(ctx: OracleContext) -> Optional[str]:
     return None
 
 
+def _check_triage(ctx: OracleContext) -> Optional[str]:
+    """Trojan triage is deterministic and blind to name spelling.
+
+    Two invariants over :func:`repro.triage.triage_netlist` against the
+    sample's "ours" identification:
+
+    1. re-running produces the identical ranking digest;
+    2. hostile renaming (the :func:`anonymize` transform the ``rename``
+       oracle uses) leaves the ``(file position, score)`` multiset
+       unchanged — gate *names* change, so scores are compared by
+       position, proving no feature reads name spelling.
+
+    Also checks the ranking covers every gate exactly once.
+    """
+    from ..triage import TriageConfig, triage_netlist
+
+    config = TriageConfig()
+    netlist = ctx.sample.netlist
+    first = triage_netlist(netlist, ctx.ours, config)
+    again = triage_netlist(netlist, ctx.ours, config)
+    if first.digest() != again.digest():
+        return "triage is not deterministic across re-runs"
+    names = sorted(s.gate for s in first.scores)
+    if names != sorted(g.name for g in netlist.gates_in_file_order()):
+        return "triage ranking does not cover every gate exactly once"
+
+    anonymized = anonymize(netlist, naming="hostile")
+    renamed_result = ctx.identify(
+        "rename-ours", anonymized.netlist, ctx.ours_config
+    )
+    renamed = triage_netlist(anonymized.netlist, renamed_result, config)
+
+    def shape(result):
+        return sorted((s.position, s.score) for s in result.scores)
+
+    if shape(first) != shape(renamed):
+        return "triage scores changed under hostile renaming"
+    return None
+
+
 def _check_reduction_functional(ctx: OracleContext) -> Optional[str]:
     problems = verify_reductions(
         ctx.sample.netlist, ctx.ours,
@@ -652,6 +696,7 @@ DEFAULT_ORACLES: Tuple[Tuple[str, Callable[[OracleContext], Optional[str]]], ...
     ("rename", _check_rename),
     ("reversal", _check_reversal),
     ("bit_permutation", _check_bit_permutation),
+    ("triage", _check_triage),
     ("reduction_functional", _check_reduction_functional),
 )
 

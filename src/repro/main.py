@@ -19,6 +19,8 @@ from __future__ import annotations
 import sys
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from .exitcodes import EXIT_OK, EXIT_USAGE
+
 __all__ = ["main", "COMMANDS"]
 
 
@@ -58,6 +60,12 @@ def _scoreboard_main():
     return main
 
 
+def _triage_main():
+    from .triage.cli import main
+
+    return main
+
+
 #: Subcommand name -> (one-line help, loader returning its ``main``).
 COMMANDS: Dict[str, Tuple[str, Callable[[], Callable]]] = {
     "identify": (
@@ -84,6 +92,10 @@ COMMANDS: Dict[str, Tuple[str, Callable[[], Callable]]] = {
         "score identification backends against exact fuzz ground truth",
         _scoreboard_main,
     ),
+    "triage": (
+        "rank gates by Trojan-region anomaly against identified words",
+        _triage_main,
+    ),
 }
 
 
@@ -107,7 +119,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
         print(_usage())
-        return 0 if argv else 2
+        return EXIT_OK if argv else EXIT_USAGE
     if argv[0] == "--version":
         from . import __version__
         from .schema import PIPELINE_VERSION, SCHEMA_VERSION
@@ -116,13 +128,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"repro {__version__} "
             f"(pipeline {PIPELINE_VERSION}, schema {SCHEMA_VERSION})"
         )
-        return 0
+        return EXIT_OK
     command, rest = argv[0], argv[1:]
     entry = COMMANDS.get(command)
     if entry is None:
         print(f"error: unknown command {command!r}", file=sys.stderr)
         print(_usage(), file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     return entry[1]()(rest)
 
 

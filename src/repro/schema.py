@@ -49,7 +49,12 @@ __all__ = ["SCHEMA_VERSION", "PIPELINE_VERSION", "stamp"]
 #: error envelope (``error``/``detail``/``diagnostics`` with field-level
 #: validation records); and the ``scoreboard`` payload
 #: (``repro scoreboard``).
-SCHEMA_VERSION = 7
+#: v8: the triage subsystem (``repro.triage``) — the triage report
+#: payload (``repro triage --json`` / ``POST /v1/triage`` / stored
+#: triage envelopes), the ``triage`` summary field on batch rows
+#: (``repro batch --triage``), and the ``triage`` ROC section in the
+#: scoreboard payload (``repro scoreboard --triage``).
+SCHEMA_VERSION = 8
 
 
 def stamp(payload: Dict) -> Dict:

@@ -31,6 +31,7 @@ from .. import faults as _faults
 from .. import metrics as _metrics
 from ..api import Session
 from ..core.pipeline import PipelineConfig
+from ..exitcodes import EXIT_FAILURE, EXIT_OK, EXIT_USAGE
 from .service import MAX_BODY_BYTES, AnalysisService, Response
 
 __all__ = ["AnalysisServer", "main"]
@@ -99,7 +100,7 @@ class AnalysisServer:
         self._server.close()  # now refuse connections outright
         await self._server.wait_closed()
         self.service.close()
-        return 1 if self._force_exit else 0
+        return EXIT_FAILURE if self._force_exit else EXIT_OK
 
     # ------------------------------------------------------------------
     # one connection = one request = one response
@@ -339,7 +340,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     registry = _metrics.current() or _metrics.install()
     session = Session(
         config=config,
@@ -371,11 +372,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     try:
         return asyncio.run(_amain(args, service))
     except KeyboardInterrupt:
-        return 1
+        return EXIT_FAILURE
 
 
 if __name__ == "__main__":

@@ -37,6 +37,7 @@ from ..batch import _aggregate, _row_from_report
 from ..core.resilience import BudgetExceeded, PreflightError
 from ..eval.runner import append_journal_entry
 from ..schema import stamp
+from ..triage import TriageConfig
 
 __all__ = ["AnalysisService", "Response"]
 
@@ -97,7 +98,15 @@ _IDENTIFY_FIELDS = _COMMON_FIELDS + (
     "verilog", "digest", "base_digest", "format", "name",
 )
 _BATCH_FIELDS = _COMMON_FIELDS + ("netlists",)
+_TRIAGE_FIELDS = _COMMON_FIELDS + (
+    "verilog", "digest", "format", "name", "top", "threshold",
+)
 _ITEM_FIELDS = ("verilog", "digest", "format", "name")
+_ENDPOINT_FIELDS = {
+    "identify": _IDENTIFY_FIELDS,
+    "batch": _BATCH_FIELDS,
+    "triage": _TRIAGE_FIELDS,
+}
 
 
 def _validate_source(item: Dict, diags, prefix: str = "") -> None:
@@ -125,15 +134,16 @@ def _validate_source(item: Dict, diags, prefix: str = "") -> None:
 
 
 def _validate_request(payload: Dict, endpoint: str):
-    """Field-level validation of one ``/v1/identify`` / ``/v1/batch``
-    body; returns :func:`_field_diag` records (empty when valid).
+    """Field-level validation of one ``/v1/identify`` / ``/v1/batch`` /
+    ``/v1/triage`` body; returns :func:`_field_diag` records (empty when
+    valid).
 
     Unknown fields are rejected rather than ignored — a typoed
     ``"bakcend"`` silently running the default backend would be a
     correctness trap, not a convenience.
     """
     diags = []
-    allowed = _IDENTIFY_FIELDS if endpoint == "identify" else _BATCH_FIELDS
+    allowed = _ENDPOINT_FIELDS[endpoint]
     for field in sorted(set(payload) - set(allowed)):
         diags.append(_field_diag(
             field, f"unknown field; expected one of {sorted(allowed)}"
@@ -181,6 +191,20 @@ def _validate_request(payload: Dict, endpoint: str):
                 diags.append(_field_diag(
                     "digest", "cannot be combined with 'base_digest'"
                 ))
+        _validate_source(payload, diags)
+    elif endpoint == "triage":
+        top = payload.get("top")
+        if top is not None:
+            if isinstance(top, bool) or not isinstance(top, int):
+                diags.append(_field_diag("top", "must be an integer"))
+            elif top < 0:
+                diags.append(_field_diag("top", "must be >= 0"))
+        threshold = payload.get("threshold")
+        if threshold is not None and (
+            isinstance(threshold, bool)
+            or not isinstance(threshold, (int, float))
+        ):
+            diags.append(_field_diag("threshold", "must be a number"))
         _validate_source(payload, diags)
     else:
         items = payload.get("netlists")
@@ -417,6 +441,10 @@ class AnalysisService:
             if method != "POST":
                 return _error(405, "method_not_allowed", "use POST")
             return await self._admitted_request(body, "batch")
+        if path == "/v1/triage":
+            if method != "POST":
+                return _error(405, "method_not_allowed", "use POST")
+            return await self._admitted_request(body, "triage")
         return _error(404, "not_found", f"no route for {method} {path}")
 
     # ------------------------------------------------------------------
@@ -470,7 +498,12 @@ class AnalysisService:
         calls it inside the worker process (via
         :func:`repro.serve.pool.run_request`).
         """
-        handler = self._identify if endpoint == "identify" else self._batch
+        handlers = {
+            "identify": self._identify,
+            "batch": self._batch,
+            "triage": self._triage,
+        }
+        handler = handlers[endpoint]
         if self.hold_s > 0:
             time.sleep(self.hold_s)
         try:
@@ -595,6 +628,39 @@ class AnalysisService:
         except KeyError:
             return _error(404, "unknown_digest", base_digest)
         return _json_response(200, incremental.as_dict())
+
+    def _triage(self, payload: Dict) -> Response:
+        """``POST /v1/triage``: identify, then rank every gate by
+        Trojan-region anomaly (DESIGN.md §16).  The response is
+        :meth:`repro.api.TriageReport.as_dict` — deterministic content
+        only, so it is byte-for-byte the ``repro triage --json`` payload
+        for the same design, config, and backend, on either pool."""
+        diagnostics = _validate_request(payload, "triage")
+        if diagnostics:
+            return _error(
+                400, "invalid_request",
+                f"{len(diagnostics)} invalid field(s)", diagnostics,
+            )
+        session = self._request_session(payload)
+        threshold = payload.get("threshold")
+        config = (
+            TriageConfig()
+            if threshold is None
+            else TriageConfig(threshold=float(threshold))
+        )
+        digest = payload.get("digest")
+        if digest is not None:
+            report = session.triage_digest(digest, triage_config=config)
+            if report is None:
+                return _error(404, "unknown_digest", digest)
+        else:
+            report = session.triage_text(
+                payload["verilog"],
+                format=payload.get("format", "verilog"),
+                name=payload.get("name"),
+                triage_config=config,
+            )
+        return _json_response(200, report.as_dict(top=payload.get("top")))
 
     def _batch(self, payload: Dict) -> Response:
         diagnostics = _validate_request(payload, "batch")

@@ -5,6 +5,8 @@ Trojans "inserted during the synthesis and optimization steps ... by a
 malicious designer and/or a malicious CAD tool".  This module plays the
 adversary so the benchmarks can ask the paper's implicit robustness
 question: does word recovery survive a netlist that has been tampered with?
+— and so the triage subsystem (:mod:`repro.triage`) has labelled ground
+truth to score against.
 
 The inserted Trojan follows the classic rare-trigger pattern ([5], [10] in
 the paper's references): a small AND-tree trigger over existing register
@@ -17,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Tuple
 
 from ..netlist.cells import AND, INV, XOR
 from ..netlist.netlist import Gate, Netlist, NetlistError
@@ -27,12 +29,18 @@ __all__ = ["TrojanSpec", "insert_trojan"]
 
 @dataclass(frozen=True)
 class TrojanSpec:
-    """Description of one inserted Trojan (returned for test assertions)."""
+    """Description of one inserted Trojan (returned for test assertions).
+
+    ``gates`` names every gate the insertion added, in insertion order —
+    the exact gate-level ground truth the triage evaluation
+    (:mod:`repro.eval.scoreboard` ``--triage``) labels anomalous.
+    """
 
     trigger_nets: tuple
     trigger_output: str
     victim_net: str
     payload_output: str
+    gates: Tuple[str, ...] = ()
 
 
 def insert_trojan(
@@ -40,6 +48,7 @@ def insert_trojan(
     trigger_width: int = 4,
     seed: int = 2015,
     victim_net: Optional[str] = None,
+    prefix: str = "_troj",
 ) -> TrojanSpec:
     """Insert a rare-trigger XOR-payload Trojan; mutates ``netlist``.
 
@@ -48,8 +57,18 @@ def insert_trojan(
     payload XORs the trigger into ``victim_net`` and rewires that net's
     consumers — exactly the "few lines of alteration" footprint the paper
     warns about.  A fixed ``seed`` keeps benchmarks reproducible.
+
+    ``prefix`` namespaces every inserted gate and net, so several Trojans
+    can share one netlist (``prefix="_troj0"``, ``"_troj1"``, …) without
+    colliding; the default reproduces the historical single-Trojan names.
+    Raises :class:`NetlistError` when the prefix is already taken.
     """
     rng = random.Random(seed)
+    if netlist.has_net(f"{prefix}_payload") or f"{prefix}_payload" in netlist:
+        raise NetlistError(
+            f"trojan prefix {prefix!r} already used in this netlist; "
+            "pick a distinct prefix per insertion"
+        )
     ff_outputs = sorted(netlist.register_output_nets())
     if len(ff_outputs) < trigger_width:
         raise NetlistError("not enough registers to build a trigger")
@@ -70,12 +89,15 @@ def insert_trojan(
     elif netlist.driver(victim_net) is None:
         raise NetlistError(f"victim net {victim_net!r} has no driver")
 
+    added: List[str] = []
+
     # Trigger: AND tree over (possibly inverted) register bits.
     level: List[str] = []
     for i, net in enumerate(trigger_nets):
         if i % 2:  # deterministic inversion pattern -> rare all-match state
-            inv = f"_troj_inv{i}"
+            inv = f"{prefix}_inv{i}"
             netlist.add_gate(inv, INV, [net], inv)
+            added.append(inv)
             level.append(inv)
         else:
             level.append(net)
@@ -83,9 +105,10 @@ def insert_trojan(
     while len(level) > 1:
         nxt: List[str] = []
         for j in range(0, len(level) - 1, 2):
-            name = f"_troj_and{counter}"
+            name = f"{prefix}_and{counter}"
             counter += 1
             netlist.add_gate(name, AND, [level[j], level[j + 1]], name)
+            added.append(name)
             nxt.append(name)
         if len(level) % 2:
             nxt.append(level[-1])
@@ -93,12 +116,15 @@ def insert_trojan(
     trigger_output = level[0]
 
     # Payload: splice trigger XOR victim into the victim's consumers.
-    payload = "_troj_payload"
+    payload = f"{prefix}_payload"
     consumers = list(netlist.fanouts(victim_net))
     netlist.add_gate(payload, XOR, [victim_net, trigger_output], payload)
+    added.append(payload)
     for gate in consumers:
         new_inputs = [
             payload if n == victim_net else n for n in gate.inputs
         ]
         netlist.replace_gate(gate.name, gate.cell, new_inputs)
-    return TrojanSpec(trigger_nets, trigger_output, victim_net, payload)
+    return TrojanSpec(
+        trigger_nets, trigger_output, victim_net, payload, tuple(added)
+    )

@@ -1,0 +1,23 @@
+"""Trojan-region triage: rank gates by anomaly against an identification.
+
+The paper motivates word-level identification as the first step of
+locating Trojans "inserted during the synthesis and optimization steps".
+This subsystem closes that loop: given a netlist and the pipeline's
+:class:`~repro.core.words.IdentificationResult`, it scores every gate by
+how poorly the recovered word/control structure explains it (DESIGN.md
+§16) and returns a deterministic ranking for an analyst to walk.
+"""
+
+from .scorer import (
+    GateScore,
+    TriageConfig,
+    TriageResult,
+    triage_netlist,
+)
+
+__all__ = [
+    "GateScore",
+    "TriageConfig",
+    "TriageResult",
+    "triage_netlist",
+]

@@ -114,3 +114,58 @@ class TestBuild:
         )
         sample = build_sample(smaller)
         assert len(sample.truth) == 1
+
+
+class TestTrojanArming:
+    def test_default_config_stays_clean(self):
+        sample = generate(sample_seed(0, 0))
+        assert sample.trojan_specs == ()
+        assert sample.trojan_gates == ()
+
+    def test_armed_samples_carry_ground_truth_gates(self):
+        from repro.netlist import validate
+
+        config = GeneratorConfig(trojan_rate=1.0)
+        sample = generate(sample_seed(0, 0), config)
+        assert sample.trojan_specs
+        gates = {g.name for g in sample.netlist.gates_in_file_order()}
+        for name in sample.trojan_gates:
+            assert name in gates
+        assert validate(sample.netlist).ok
+
+    def test_armed_build_is_deterministic(self):
+        config = GeneratorConfig(trojan_rate=1.0)
+        a = generate(sample_seed(0, 1), config)
+        b = generate(sample_seed(0, 1), config)
+        assert a.netlist == b.netlist
+        assert a.trojan_specs == b.trojan_specs
+
+    def test_multi_trojan_prefixes_are_disjoint(self):
+        config = GeneratorConfig(trojan_rate=1.0, max_trojans=2)
+        for index in range(6):
+            sample = generate(sample_seed(0, index), config)
+            if len(sample.trojan_specs) < 2:
+                continue
+            sets = [set(spec.gates) for spec in sample.trojan_specs]
+            assert not sets[0] & sets[1]
+            return
+        pytest.skip("no two-trojan sample in the first 6 seeds")
+
+    def test_tainted_words_are_demoted_to_any(self):
+        """A word combinationally downstream of a payload splice can no
+        longer be held to its regime's expectation — the tamper
+        legitimately changes its cones."""
+        config = GeneratorConfig(trojan_rate=1.0)
+        clean_config = GeneratorConfig()
+        for index in range(6):
+            armed = generate(sample_seed(0, index), config)
+            clean = generate(sample_seed(0, index), clean_config)
+            expect_clean = {w.register: w.expect_ours for w in clean.truth}
+            demoted = [
+                w.register for w in armed.truth
+                if w.expect_ours == "any"
+                and expect_clean[w.register] == "full"
+            ]
+            if demoted:
+                return
+        pytest.skip("no demoted word in the first 6 seeds")

@@ -64,3 +64,20 @@ class TestVerifyReductions:
                 assert problems == []
                 return
         pytest.fail("no corpus sample committed a control assignment")
+
+
+class TestTriageOracle:
+    def test_triage_oracle_is_registered(self):
+        assert "triage" in [name for name, _ in DEFAULT_ORACLES]
+
+    def test_trojan_armed_sample_passes_all_oracles(self):
+        """The full suite holds on an armed sample: tainted words are
+        demoted so expectation oracles stay valid, and the triage oracle
+        proves the ranking deterministic and rename-invariant."""
+        from repro.fuzz.generator import GeneratorConfig
+
+        armed = generate(sample_seed(0, 0), GeneratorConfig(trojan_rate=1.0))
+        assert armed.trojan_specs
+        verdicts = run_oracles(armed)
+        failing = [v for v in verdicts if not v.passed]
+        assert not failing, failing

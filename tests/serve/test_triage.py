@@ -1,0 +1,173 @@
+"""/v1/triage contract tests: the byte-identity guarantee plus the
+standard validation envelope, through the in-process service (the same
+handler code the socket path runs)."""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.api import Session
+from repro.netlist import write_verilog
+from repro.serve.service import AnalysisService
+from repro.triage.cli import main as triage_main
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+from fixtures import figure1_netlist  # noqa: E402
+
+
+@pytest.fixture()
+def verilog_text():
+    netlist, _ = figure1_netlist()
+    return write_verilog(netlist)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    service = AnalysisService(
+        Session(store=str(tmp_path / "store")), workers=2, queue_size=4
+    )
+    yield service
+    service.close()
+
+
+class TestByteIdentity:
+    def test_response_is_byte_identical_to_the_cli_json(
+        self, tmp_path, verilog_text
+    ):
+        """The contract DESIGN.md §16 promises: `/v1/triage` on some
+        bytes answers exactly `repro triage --json` on the same bytes —
+        compared as *bytes*, against the canonical serve serialization."""
+        design = tmp_path / "fig1.v"
+        design.write_text(verilog_text)
+        report = tmp_path / "cli.json"
+        store = str(tmp_path / "store")
+        assert triage_main(
+            [str(design), "--store", store, "--json", str(report)]
+        ) == 0
+        canonical = json.dumps(
+            json.loads(report.read_text()), sort_keys=True
+        ).encode("utf-8")
+
+        service = AnalysisService(
+            Session(store=store), workers=1, queue_size=1
+        )
+        try:
+            warm = service.call(
+                "POST", "/v1/triage", {"verilog": verilog_text}
+            )
+        finally:
+            service.close()
+        assert warm.status == 200
+        assert warm.body == canonical
+
+    def test_cold_warm_and_storeless_agree(self, service, verilog_text):
+        cold = service.call("POST", "/v1/triage", {"verilog": verilog_text})
+        warm = service.call("POST", "/v1/triage", {"verilog": verilog_text})
+        assert cold.status == warm.status == 200
+        assert cold.body == warm.body
+        storeless = AnalysisService(Session(), workers=1, queue_size=1)
+        try:
+            bare = storeless.call(
+                "POST", "/v1/triage", {"verilog": verilog_text}
+            )
+        finally:
+            storeless.close()
+        assert bare.body == cold.body
+
+    def test_process_pool_answers_the_thread_pool_bytes(
+        self, tmp_path, verilog_text
+    ):
+        store = str(tmp_path / "store")
+        threaded = AnalysisService(
+            Session(store=store), workers=1, queue_size=1, pool="thread"
+        )
+        try:
+            expected = threaded.call(
+                "POST", "/v1/triage", {"verilog": verilog_text}
+            )
+        finally:
+            threaded.close()
+        forked = AnalysisService(
+            Session(store=store), workers=1, queue_size=1, pool="process"
+        )
+        try:
+            response = forked.call(
+                "POST", "/v1/triage", {"verilog": verilog_text}
+            )
+        finally:
+            forked.close()
+        assert response.status == 200
+        assert response.body == expected.body
+
+    def test_digest_lookup_answers_the_text_bytes(
+        self, service, verilog_text
+    ):
+        posted = service.call(
+            "POST", "/v1/triage", {"verilog": verilog_text}
+        )
+        assert posted.status == 200
+        by_digest = service.call(
+            "POST", "/v1/triage", {"digest": posted.json["digest"]}
+        )
+        assert by_digest.status == 200
+        assert by_digest.body == posted.body
+
+
+class TestRequestSurface:
+    def test_top_truncates_without_touching_counters(
+        self, service, verilog_text
+    ):
+        full = service.call(
+            "POST", "/v1/triage", {"verilog": verilog_text}
+        ).json
+        cut = service.call(
+            "POST", "/v1/triage", {"verilog": verilog_text, "top": 3}
+        ).json
+        assert len(cut["gates"]) == 3
+        assert cut["num_gates"] == full["num_gates"]
+        assert cut["triage_digest"] == full["triage_digest"]
+
+    def test_threshold_re_tunes_flagging(self, service, verilog_text):
+        strict = service.call(
+            "POST", "/v1/triage",
+            {"verilog": verilog_text, "threshold": 2.0},
+        ).json
+        assert strict["num_flagged"] == 0
+        assert strict["config"]["threshold"] == 2.0
+
+    def test_validation_envelope_names_every_bad_field(
+        self, service, verilog_text
+    ):
+        response = service.call("POST", "/v1/triage", {
+            "verilog": verilog_text,
+            "bogus": 1,
+            "top": True,
+            "threshold": "hot",
+        })
+        assert response.status == 400
+        payload = response.json
+        assert payload["error"] == "invalid_request"
+        fields = sorted(d["field"] for d in payload["diagnostics"])
+        assert fields == ["bogus", "threshold", "top"]
+        for diag in payload["diagnostics"]:
+            assert set(diag) == {"field", "severity", "message"}
+
+    def test_verilog_and_digest_together_rejected(
+        self, service, verilog_text
+    ):
+        response = service.call("POST", "/v1/triage", {
+            "verilog": verilog_text, "digest": "file:" + "0" * 64,
+        })
+        assert response.status == 400
+
+    def test_unknown_digest_is_404(self, service):
+        response = service.call(
+            "POST", "/v1/triage", {"digest": "file:" + "0" * 64}
+        )
+        assert response.status == 404
+        assert response.json["error"] == "unknown_digest"
+
+    def test_get_is_method_not_allowed(self, service):
+        assert service.call("GET", "/v1/triage").status == 405

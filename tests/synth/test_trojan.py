@@ -1,8 +1,16 @@
 """Unit tests for Hardware-Trojan insertion."""
 
+import random
+
 import pytest
 
-from repro.netlist import NetlistBuilder, Simulator, validate
+from repro.netlist import (
+    NetlistBuilder,
+    Simulator,
+    evaluate_combinational,
+    exhaustive_inputs,
+    validate,
+)
 from repro.netlist.netlist import NetlistError
 from repro.synth import insert_trojan
 
@@ -68,6 +76,120 @@ class TestInsertion:
         before = nl.num_gates
         insert_trojan(nl, trigger_width=4, seed=1)
         assert nl.num_gates - before <= 8  # "a few lines of alteration"
+
+
+class TestTriggerRarity:
+    """The rare-trigger contract, checked via the logic simulator.
+
+    A width-``w`` trigger is an AND tree over ``w`` register bits with a
+    fixed inversion pattern, so exactly one of the ``2^w`` tap patterns
+    fires it: P(fire) = 2^-w under uniform random state.
+    """
+
+    @pytest.mark.parametrize("width", [3, 4, 5])
+    def test_exactly_one_tap_pattern_fires(self, width):
+        nl, _, _ = victim_design()
+        spec = insert_trojan(nl, trigger_width=width, seed=9)
+        fired = 0
+        for assignment in exhaustive_inputs(list(spec.trigger_nets)):
+            values = evaluate_combinational(nl, assignment)
+            assert values[spec.trigger_output] in (0, 1)
+            fired += values[spec.trigger_output]
+        assert fired == 1  # exactly 2^-width of the tap space
+
+    def test_firing_rate_matches_two_to_minus_w(self):
+        """Empirical firing rate under random stimulus ≈ 2^-w.
+
+        4096 seeded draws at w=4: mean 256 firings, σ ≈ 15.5; the ±5σ
+        band is deterministic for the fixed rng seed and would only move
+        if the trigger's combinational function changed.
+        """
+        width, draws = 4, 4096
+        nl, _, _ = victim_design()
+        spec = insert_trojan(nl, trigger_width=width, seed=5)
+        sources = sorted(nl.cone_leaf_nets())
+        rng = random.Random(2015)
+        fired = 0
+        for _ in range(draws):
+            vector = {net: rng.randint(0, 1) for net in sources}
+            fired += evaluate_combinational(nl, vector)[spec.trigger_output]
+        p = 2.0 ** -width
+        expected = draws * p
+        sigma = (draws * p * (1 - p)) ** 0.5
+        assert abs(fired - expected) < 5 * sigma
+
+    def test_design_unchanged_while_trigger_inactive(self):
+        """Dormant equivalence: with the trigger at 0, every register
+        D-input and primary output computes exactly the clean value, on
+        random source vectors (the payload XOR is then the identity)."""
+        clean, _, _ = victim_design()
+        tampered = clean.copy()
+        spec = insert_trojan(tampered, trigger_width=4, seed=7)
+        sources = sorted(clean.cone_leaf_nets())
+        tampered_d = {
+            ff.name: ff.inputs[0] for ff in tampered.flip_flops()
+        }
+        rng = random.Random(7)
+        dormant = 0
+        for _ in range(512):
+            vector = {net: rng.randint(0, 1) for net in sources}
+            tampered_values = evaluate_combinational(tampered, vector)
+            if tampered_values[spec.trigger_output] != 0:
+                continue
+            dormant += 1
+            clean_values = evaluate_combinational(clean, vector)
+            for ff in clean.flip_flops():
+                assert (
+                    tampered_values[tampered_d[ff.name]]
+                    == clean_values[ff.inputs[0]]
+                ), f"register {ff.name} diverges while trigger is cold"
+            for net in clean.primary_outputs:
+                assert tampered_values[net] == clean_values[net]
+        # The trigger is rare, so nearly every draw exercises dormancy.
+        assert dormant > 400
+
+    def test_payload_flips_victim_when_trigger_fires(self):
+        """When the trigger IS active, the payload inverts the victim —
+        the tamper is real, not optimized away."""
+        nl, n1, _ = victim_design()
+        spec = insert_trojan(nl, victim_net=n1, trigger_width=3, seed=11)
+        sources = sorted(nl.cone_leaf_nets())
+        rng = random.Random(11)
+        flipped = 0
+        for _ in range(2048):
+            vector = {net: rng.randint(0, 1) for net in sources}
+            values = evaluate_combinational(nl, vector)
+            if values[spec.trigger_output] != 1:
+                continue
+            assert (
+                values[spec.payload_output] == 1 - values[spec.victim_net]
+            )
+            flipped += 1
+        assert flipped > 0  # w=3 fires ~256 times in 2048 draws
+
+
+class TestMultiTrojan:
+    def test_distinct_prefixes_coexist(self):
+        nl, _, _ = victim_design()
+        first = insert_trojan(nl, trigger_width=3, seed=1, prefix="_troj0")
+        second = insert_trojan(nl, trigger_width=4, seed=2, prefix="_troj1")
+        assert not set(first.gates) & set(second.gates)
+        assert all(g.startswith("_troj0") for g in first.gates)
+        assert all(g.startswith("_troj1") for g in second.gates)
+        assert validate(nl).ok
+
+    def test_prefix_collision_raises(self):
+        nl, _, _ = victim_design()
+        insert_trojan(nl, trigger_width=3, seed=1, prefix="_troj0")
+        with pytest.raises(NetlistError, match="prefix"):
+            insert_trojan(nl, trigger_width=3, seed=2, prefix="_troj0")
+
+    def test_spec_gates_are_the_inserted_gates(self):
+        nl, _, _ = victim_design()
+        before = {g.name for g in nl.gates_in_file_order()}
+        spec = insert_trojan(nl, trigger_width=4, seed=3)
+        after = {g.name for g in nl.gates_in_file_order()}
+        assert set(spec.gates) == after - before
 
 
 class TestDormantBehaviour:

@@ -114,6 +114,56 @@ class TestJournalResume:
         assert [entry["path"] for entry in entries] == [corpus[1]]
 
 
+class TestTriage:
+    def test_rows_carry_a_triage_summary(self, corpus, tmp_path):
+        store = str(tmp_path / "store")
+        report = analyze_corpus(corpus, store=store, triage=True)
+        for row in report.rows:
+            summary = row["triage"]
+            assert set(summary) == {
+                "backend", "num_flagged", "threshold",
+                "triage_digest", "top",
+            }
+            assert summary["backend"] == "ours"
+            assert summary["triage_digest"].startswith("triage:")
+            assert summary["top"]
+        # identical bytes → identical rankings
+        fig1, dup = report.rows[1], report.rows[2]
+        assert (
+            fig1["triage"]["triage_digest"]
+            == dup["triage"]["triage_digest"]
+        )
+
+    def test_plain_rows_carry_none_and_stay_cache_compatible(
+        self, corpus, tmp_path
+    ):
+        store = str(tmp_path / "store")
+        analyze_corpus(corpus, store=store, triage=True)
+        plain = analyze_corpus(corpus, store=store)
+        assert all(row["triage"] is None for row in plain.rows)
+        # the triage run warmed the ordinary result cache
+        assert plain.aggregate["hit_rate"] == 1.0
+
+    def test_resume_refuses_rows_journaled_without_triage(
+        self, corpus, tmp_path
+    ):
+        journal = str(tmp_path / "batch.jsonl")
+        analyze_corpus(corpus, journal=journal)
+        resumed = analyze_corpus(
+            corpus, journal=journal, resume=True, triage=True
+        )
+        assert all(row["cache"] != "journal" for row in resumed.rows)
+        assert all(row["triage"] is not None for row in resumed.rows)
+        # and once triaged rows are journaled, resume restores them
+        again = analyze_corpus(
+            corpus, journal=journal, resume=True, triage=True
+        )
+        assert all(row["cache"] == "journal" for row in again.rows)
+        assert [row["triage"] for row in again.rows] == [
+            row["triage"] for row in resumed.rows
+        ]
+
+
 class TestCli:
     def test_empty_corpus_exits_2(self, capsys):
         assert main([]) == 2

@@ -121,11 +121,28 @@ def current_shapes():
             inc_payload["cone_cache"]
         )
 
-        # repro batch rows and aggregate.
+        # Trojan triage: the report payload (CLI --json / serve / store)
+        # and its store envelope.
+        treport = session.triage(design)
+        tpayload = treport.as_dict()
+        shapes["triage_report"] = sorted(tpayload)
+        shapes["triage_report.config"] = sorted(tpayload["config"])
+        shapes["triage_report.gate"] = sorted(tpayload["gates"][0])
+        triage_envelopes = [
+            e for e in (store.get(key) for key in store.keys())
+            if e and e.get("kind") == "triage"
+        ]
+        assert triage_envelopes, "triage committed no store entry"
+        shapes["store_triage_envelope"] = sorted(triage_envelopes[0])
+
+        # repro batch rows and aggregate (--triage adds a row summary).
         batch = analyze_corpus([design], store=store_root)
         shapes["batch_row"] = sorted(batch.rows[0])
         shapes["batch_aggregate"] = sorted(batch.aggregate)
         shapes["batch_report"] = sorted(batch.as_dict())
+        triaged_batch = analyze_corpus([design], store=store_root,
+                                       triage=True)
+        shapes["batch_row.triage"] = sorted(triaged_batch.rows[0]["triage"])
 
         # The serve response envelopes, through the in-process service
         # (same handler code as the socket path, no port needed).
@@ -155,6 +172,11 @@ def current_shapes():
             shapes["serve_identify_incremental_response"] = sorted(
                 served_inc.json
             )
+            served_triage = service.call(
+                "POST", "/v1/triage", {"verilog": text}
+            )
+            assert served_triage.status == 200
+            shapes["serve_triage_response"] = sorted(served_triage.json)
             error = service.call("POST", "/v1/identify", {})
             assert error.status == 400
             shapes["serve_error"] = sorted(error.json)
@@ -175,11 +197,12 @@ def current_shapes():
         # The backend scoreboard payload (`repro scoreboard --json`).
         from repro.eval.scoreboard import run_scoreboard
 
-        scoreboard = run_scoreboard(samples=1, seed=0)
+        scoreboard = run_scoreboard(samples=1, seed=0, triage=True)
         shapes["scoreboard"] = sorted(scoreboard)
-        shapes["scoreboard.backend"] = sorted(
-            next(iter(scoreboard["backends"].values()))
-        )
+        board = next(iter(scoreboard["backends"].values()))
+        shapes["scoreboard.backend"] = sorted(board)
+        assert board["triage"], "triage run produced no ROC section"
+        shapes["scoreboard.backend.triage"] = sorted(board["triage"])
 
         # The metrics snapshot (`repro batch --metrics-json` / registry).
         registry = MetricsRegistry()
@@ -200,8 +223,8 @@ def load_golden():
 
 
 class TestVersionStamps:
-    def test_schema_version_is_7(self):
-        assert SCHEMA_VERSION == 7
+    def test_schema_version_is_8(self):
+        assert SCHEMA_VERSION == 8
 
     def test_stamp_prepends_current_versions(self):
         stamped = stamp({"x": 1, "schema_version": 999})
@@ -243,6 +266,8 @@ class TestGolden:
             "batch_report",
             "serve_identify_response",
             "serve_batch_response",
+            "triage_report",
+            "serve_triage_response",
             "serve_error",
             "serve_healthz",
             "metrics_json",
@@ -258,6 +283,12 @@ class TestGolden:
         assert (
             golden["serve_identify_response"] == golden["analysis_report"]
         )
+
+    def test_serve_triage_envelope_is_the_triage_report(self):
+        """/v1/triage likewise answers TriageReport.as_dict verbatim —
+        the byte-identity contract starts with an identical field set."""
+        golden = load_golden()["shapes"]
+        assert golden["serve_triage_response"] == golden["triage_report"]
 
 
 def _regen() -> None:
